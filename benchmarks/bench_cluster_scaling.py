@@ -1,0 +1,41 @@
+"""Multi-node scaling bench (Section IV-A's 'multiple nodes' support)."""
+
+from conftest import run_once
+from repro.cluster import ClusterConfig, cluster_network_timing
+from repro.experiments.report import format_table
+
+
+def _sweep(ctx):
+    name = ctx.config.networks[0]
+    nctx = ctx.network_ctx(name)
+    fwd = ctx.forward(name, 0)
+    rows = []
+    for nodes in (1, 2, 4):
+        cluster = ClusterConfig(num_nodes=nodes, node=ctx.arch)
+        base = cluster_network_timing(
+            nctx.network, fwd.conv_inputs, cluster, "dadiannao"
+        )
+        cnv = cluster_network_timing(
+            nctx.network, fwd.conv_inputs, cluster, "cnvlutin"
+        )
+        rows.append(
+            {
+                "network": name,
+                "nodes": nodes,
+                "baseline_cycles": base.total_cycles,
+                "cnv_cycles": cnv.total_cycles,
+                "cnv_speedup": base.total_cycles / cnv.total_cycles,
+            }
+        )
+    return rows
+
+
+def test_cluster_scaling(benchmark, ctx):
+    rows = run_once(benchmark, _sweep, ctx)
+    print()
+    print(format_table(rows))
+    # More nodes never hurt, and CNV wins at every node count.
+    cycles = [r["cnv_cycles"] for r in rows]
+    assert cycles == sorted(cycles, reverse=True)
+    for row in rows:
+        assert row["cnv_speedup"] > 1.0

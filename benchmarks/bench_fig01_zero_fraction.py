@@ -1,0 +1,12 @@
+"""Fig. 1 benchmark: zero-neuron fractions per network."""
+
+from conftest import run_once
+from repro.experiments import fig1_zero_fraction
+
+
+def test_fig1_zero_fraction(benchmark, ctx):
+    result = run_once(benchmark, fig1_zero_fraction.run, ctx)
+    print()
+    print(result.to_table())
+    rows = {r["network"]: r["zero_fraction"] for r in result.rows}
+    assert 0.3 < rows["average"] < 0.6  # paper: 0.44

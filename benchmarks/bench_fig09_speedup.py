@@ -1,0 +1,13 @@
+"""Fig. 9 benchmark: CNV speedup over DaDianNao (+ lossless pruning)."""
+
+from conftest import run_once
+from repro.experiments import fig9_speedup
+
+
+def test_fig9_speedup(benchmark, ctx):
+    result = run_once(benchmark, fig9_speedup.run, ctx)
+    print()
+    print(result.to_table())
+    avg = [r for r in result.rows if r["network"] == "average"][0]
+    assert 1.1 < avg["CNV"] < 1.8  # paper: 1.37
+    assert avg["CNV+Pruning"] >= avg["CNV"] - 1e-9  # paper: 1.52

@@ -1,0 +1,18 @@
+"""Fig. 10 benchmark: execution-activity breakdown."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import fig10_breakdown
+
+
+def test_fig10_breakdown(benchmark, ctx):
+    result = run_once(benchmark, fig10_breakdown.run, ctx)
+    print()
+    print(result.to_table())
+    for row in result.rows:
+        if row["arch"] == "baseline":
+            assert row["total"] == pytest.approx(1.0)
+            assert row["stall"] == 0.0
+        else:
+            assert row["total"] < 1.0  # CNV is never slower end to end

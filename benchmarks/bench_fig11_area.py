@@ -1,0 +1,14 @@
+"""Fig. 11 benchmark: area breakdown (+4.49% CNV overhead)."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import fig11_area
+
+
+def test_fig11_area(benchmark, ctx):
+    result = run_once(benchmark, fig11_area.run, ctx)
+    print()
+    print(result.to_table())
+    total = [r for r in result.rows if r["component"] == "total"][0]
+    assert total["delta"] == pytest.approx(0.0449, abs=0.001)

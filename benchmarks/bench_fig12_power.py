@@ -1,0 +1,11 @@
+"""Fig. 12 benchmark: energy/power breakdown."""
+
+from conftest import run_once
+from repro.experiments import fig12_power
+
+
+def test_fig12_power(benchmark, ctx):
+    result = run_once(benchmark, fig12_power.run, ctx)
+    print()
+    print(result.to_table())
+    assert 0.6 < result.extra["energy_ratio"] < 1.0  # paper: 0.93

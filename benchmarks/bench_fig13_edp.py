@@ -1,0 +1,13 @@
+"""Fig. 13 benchmark: EDP / ED²P improvement."""
+
+from conftest import run_once
+from repro.experiments import fig13_edp
+
+
+def test_fig13_edp(benchmark, ctx):
+    result = run_once(benchmark, fig13_edp.run, ctx)
+    print()
+    print(result.to_table())
+    avg = result.rows[-1]
+    assert avg["EDP_gain"] > 1.0  # paper: 1.47
+    assert avg["ED2P_gain"] > avg["EDP_gain"]  # paper: 2.01

@@ -1,0 +1,17 @@
+"""Fig. 14 benchmark: accuracy-vs-speedup pruning trade-off."""
+
+from conftest import run_once
+from repro.experiments import fig14_pruning
+
+
+def test_fig14_pruning(benchmark, ctx):
+    result = run_once(
+        benchmark, fig14_pruning.run, ctx, deltas=(0.1, 0.3, 0.5)
+    )
+    print()
+    print(result.to_table())
+    small = [r for r in result.rows if r["network"] == "smallcnn(real)"]
+    assert small, "real-accuracy trade-off points missing"
+    # Relaxing the tolerance never reduces achievable speedup.
+    speedups = [r["speedup"] for r in small]
+    assert speedups == sorted(speedups)

@@ -1,0 +1,60 @@
+"""Microbenchmarks: throughput of the reproduction's own machinery.
+
+Unlike the ``bench_fig*`` harnesses (which regenerate paper results), these
+time the simulator substrate itself — useful when tuning the vectorized
+timing models or the encoder.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baseline.timing import baseline_conv_timing
+from repro.baseline.workload import ConvWork
+from repro.core.timing import cnv_conv_timing
+from repro.core.zfnaf import decode, encode
+from repro.hw.config import PAPER_CONFIG
+from repro.nn.activations import sparse_activations
+from repro.nn.layers import conv2d
+
+
+@pytest.fixture(scope="module")
+def vgg_like_layer():
+    rng = np.random.default_rng(0)
+    act = sparse_activations((256, 28, 28), 0.45, rng)
+    geometry = {
+        "in_depth": 256, "in_y": 28, "in_x": 28, "num_filters": 256,
+        "kernel": 3, "stride": 1, "pad": 1, "groups": 1, "out_y": 28, "out_x": 28,
+    }
+    return ConvWork("vggish", geometry, act)
+
+
+def test_zfnaf_encode_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    act = sparse_activations((256, 28, 28), 0.45, rng)
+    z = benchmark(encode, act)
+    assert z.total_nonzero == (act != 0).sum()
+
+
+def test_zfnaf_decode_throughput(benchmark):
+    rng = np.random.default_rng(2)
+    act = sparse_activations((256, 28, 28), 0.45, rng)
+    z = encode(act)
+    out = benchmark(decode, z)
+    assert np.allclose(out, act)
+
+
+def test_cnv_timing_model_throughput(benchmark, vgg_like_layer):
+    timing = benchmark(cnv_conv_timing, vgg_like_layer, PAPER_CONFIG)
+    assert timing.cycles > 0
+
+
+def test_baseline_timing_model_throughput(benchmark, vgg_like_layer):
+    timing = benchmark(baseline_conv_timing, vgg_like_layer, PAPER_CONFIG)
+    assert timing.cycles > 0
+
+
+def test_golden_conv_throughput(benchmark, vgg_like_layer):
+    rng = np.random.default_rng(3)
+    weights = rng.normal(size=(64, 256, 3, 3))
+    out = benchmark(conv2d, vgg_like_layer.activations, weights, None, 1, 1)
+    assert out.shape == (64, 28, 28)

@@ -1,0 +1,11 @@
+"""Table I benchmark: the evaluated networks."""
+
+from conftest import run_once
+from repro.experiments import table1_networks
+
+
+def test_table1_networks(benchmark, ctx):
+    result = run_once(benchmark, table1_networks.run, ctx)
+    print()
+    print(result.to_table())
+    assert all(r["conv_layers"] == r["paper"] for r in result.rows)

@@ -1,0 +1,12 @@
+"""Table II benchmark: lossless pruning thresholds per network."""
+
+from conftest import run_once
+from repro.experiments import table2_thresholds
+
+
+def test_table2_thresholds(benchmark, ctx):
+    result = run_once(benchmark, table2_thresholds.run, ctx)
+    print()
+    print(result.to_table())
+    for row in result.rows:
+        assert row["speedup"] > 1.0

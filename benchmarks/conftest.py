@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper table/figure has a ``bench_*`` module here; running
+
+    pytest benchmarks/ --benchmark-only
+
+regenerates them all and prints each table.  Scale and network selection
+come from the environment:
+
+``CNVLUTIN_BENCH_SCALE``     tiny (default) | reduced | full
+``CNVLUTIN_BENCH_NETWORKS``  comma-separated subset of the six networks
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import PaperConfig
+from repro.experiments.context import ExperimentContext
+
+
+def bench_config() -> PaperConfig:
+    scale = os.environ.get("CNVLUTIN_BENCH_SCALE", "tiny")
+    networks = os.environ.get("CNVLUTIN_BENCH_NETWORKS")
+    kwargs = {"scale": scale}
+    if networks:
+        kwargs["networks"] = networks.split(",")
+    return PaperConfig(**kwargs)
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext(bench_config())
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

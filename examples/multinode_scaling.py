@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Multi-node scaling: running networks too big for one node (Section IV-A).
+
+Full-size AlexNet's fc6 alone holds ~75 MB of synapses — more than a
+node's 32 MB of SB — which is exactly why DaDianNao (and CNV on top of it)
+scales to multi-node systems.  This example sizes each network, then
+sweeps node counts for both architectures, showing filter-partitioned
+compute scaling against the input-broadcast overhead.
+
+Run:  python examples/multinode_scaling.py
+"""
+
+import numpy as np
+
+from repro.cluster import ClusterConfig, cluster_network_timing, nodes_required
+from repro.experiments.report import format_table
+from repro.hw.config import PAPER_CONFIG
+from repro.nn.calibration import calibrate_network
+from repro.nn.datasets import natural_images
+from repro.nn.inference import init_weights, run_forward
+from repro.nn.models import build_network, network_names
+
+
+def main() -> None:
+    print("node capacity: 32 MB SB, 4 MB NM -> nodes needed per network "
+          "(full-size inputs):")
+    sizing = []
+    for name in network_names():
+        net = build_network(name)
+        sizing.append({"network": name, "nodes_required": nodes_required(net, PAPER_CONFIG)})
+    print(format_table(sizing))
+
+    # Scaling sweep on a calibrated (reduced-size) AlexNet.
+    net = build_network("alex", input_size=115)
+    store = init_weights(net, np.random.default_rng(0))
+    images = natural_images(net.input_shape, 2, seed=1)
+    calibrate_network(net, store, images)
+    fwd = run_forward(net, store, images[0], keep_outputs=False)
+
+    rows = []
+    one_node_base = None
+    for nodes in (1, 2, 4, 8):
+        cluster = ClusterConfig(num_nodes=nodes)
+        base = cluster_network_timing(net, fwd.conv_inputs, cluster, "dadiannao")
+        cnv = cluster_network_timing(net, fwd.conv_inputs, cluster, "cnvlutin")
+        if one_node_base is None:
+            one_node_base = base.total_cycles
+        rows.append(
+            {
+                "nodes": nodes,
+                "baseline_cycles": base.total_cycles,
+                "cnv_cycles": cnv.total_cycles,
+                "baseline_scaling": one_node_base / base.total_cycles,
+                "cnv_vs_baseline": base.total_cycles / cnv.total_cycles,
+            }
+        )
+    print("\nalex scaling sweep (reduced size):")
+    print(format_table(rows))
+    print("\nCNV's advantage persists at every node count; scaling is "
+          "sublinear once per-node filter shares shrink below the 256 "
+          "concurrent filters a node already exploits.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments that cannot run PEP 517 builds.
+
+All metadata lives in pyproject.toml; ``python setup.py develop`` remains
+usable on fully offline machines lacking the ``wheel`` package (see the
+README's installation notes).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""Cnvlutin (CNV) — Ineffectual-Neuron-Free Deep Neural Network Computing.
+
+A complete Python reproduction of the ISCA 2016 paper by Albericio, Judd,
+Hetherington, Aamodt, Enright Jerger and Moshovos.  The package provides:
+
+* :mod:`repro.nn` — the DNN substrate (networks, inference, calibration);
+* :mod:`repro.hw` — shared hardware building blocks (eDRAM/SRAM, buffers,
+  interconnect, cycle kernel, activity counters);
+* :mod:`repro.baseline` — the DaDianNao baseline accelerator model;
+* :mod:`repro.core` — the Cnvlutin contribution: ZFNAf, the dispatcher,
+  the decoupled subunits, the output encoder, the vectorized timing model
+  and dynamic neuron pruning;
+* :mod:`repro.power` — calibrated area/energy models and EDP/ED²P metrics;
+* :mod:`repro.experiments` — one module per paper table/figure plus a
+  runner that regenerates them all.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

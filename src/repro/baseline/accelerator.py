@@ -1,0 +1,183 @@
+"""Structural (cycle-by-cycle) simulator of the DaDianNao baseline node.
+
+A node is ``num_units`` NFUs fed by a single broadcast interconnect from
+the central Neuron Memory (Section IV-A): every cycle one fetch block —
+``neuron_lanes`` neurons, contiguous in the window's (features, x, y)
+traversal and zero padded at the window tail — is read from NM and
+broadcast to all units; unit ``u`` applies it to filters
+``u*filters_per_unit ... (u+1)*filters_per_unit - 1`` of the current pass.
+
+The simulator is fully functional — it produces the layer's output neurons,
+validated against the im2col golden model — and its cycle counts equal the
+closed-form model of :mod:`repro.baseline.timing` (tested property-based).
+It is meant for small/scaled configurations; whole networks use the
+analytic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baseline.workload import ConvWork, ceil_div, group_activations
+from repro.hw.config import ArchConfig
+from repro.hw.counters import ActivityCounters
+from repro.hw.interconnect import BroadcastBus
+from repro.baseline.nfu import NFU
+
+__all__ = ["DaDianNaoNode", "StructuralRunResult", "build_fetch_blocks", "build_sb_columns"]
+
+
+@dataclass
+class StructuralRunResult:
+    """Output and measured activity of a structural layer run."""
+
+    output: np.ndarray  # (num_filters, out_y, out_x), pre-activation
+    cycles: int
+    counters: ActivityCounters
+
+
+def build_fetch_blocks(
+    window: np.ndarray, lanes: int, packing: str = "window"
+) -> np.ndarray:
+    """Split a window (depth, Fy, Fx) into lock-step fetch blocks.
+
+    Traversal order is features fastest, then x, then y — n(y, x, i) with i
+    innermost, matching Section IV-A1 — zero padded to a multiple of
+    ``lanes``.  ``packing="window"`` (default) packs the whole traversal
+    densely; ``"row"`` keeps blocks within NM-contiguous window rows.
+    Returns shape ``(num_blocks, lanes)``.
+    """
+    depth, kernel_y, kernel_x = window.shape
+    if packing == "window":
+        flat = window.transpose(1, 2, 0).reshape(-1)
+        blocks = ceil_div(flat.size, lanes)
+        padded = np.zeros(blocks * lanes, dtype=np.float64)
+        padded[: flat.size] = flat
+        return padded.reshape(blocks, lanes)
+    blocks_per_row = ceil_div(kernel_x * depth, lanes)
+    out = np.zeros((kernel_y * blocks_per_row, lanes), dtype=np.float64)
+    for fy in range(kernel_y):
+        row = window[:, fy, :].T.reshape(-1)  # (x, i) with i fastest
+        flat = out[fy * blocks_per_row : (fy + 1) * blocks_per_row].reshape(-1)
+        flat[: row.size] = row
+    return out
+
+
+def build_sb_columns(
+    weights: np.ndarray, lanes: int, packing: str = "window"
+) -> np.ndarray:
+    """Arrange one filter group's synapses into SB columns.
+
+    ``weights``: (filters, depth, Fy, Fx).  Column ``c`` holds the synapses
+    matching fetch block ``c`` (same packing as
+    :func:`build_fetch_blocks`); shape ``(num_columns, filters, lanes)``.
+    """
+    filters, depth, kernel_y, kernel_x = weights.shape
+    if packing == "window":
+        flat = weights.transpose(0, 2, 3, 1).reshape(filters, -1)
+        columns = ceil_div(flat.shape[1], lanes)
+        padded = np.zeros((filters, columns * lanes), dtype=np.float64)
+        padded[:, : flat.shape[1]] = flat
+        return padded.reshape(filters, columns, lanes).transpose(1, 0, 2)
+    blocks_per_row = ceil_div(kernel_x * depth, lanes)
+    columns = kernel_y * blocks_per_row
+    padded = np.zeros((filters, columns * lanes), dtype=np.float64)
+    for fy in range(kernel_y):
+        row = weights[:, :, fy, :].transpose(0, 2, 1).reshape(filters, -1)
+        start = fy * blocks_per_row * lanes
+        padded[:, start : start + row.shape[1]] = row
+    return padded.reshape(filters, columns, lanes).transpose(1, 0, 2)
+
+
+class DaDianNaoNode:
+    """A baseline node: broadcast bus + ``num_units`` lock-step NFUs."""
+
+    def __init__(self, config: ArchConfig):
+        self.config = config
+        self.counters = ActivityCounters()
+        self.bus = BroadcastBus(
+            lanes=config.neuron_lanes,
+            data_bits=config.data_bits,
+            counters=self.counters,
+        )
+
+    def run_conv_layer(self, work: ConvWork, weights: np.ndarray) -> StructuralRunResult:
+        """Run one conv layer to completion; returns outputs and cycles.
+
+        ``weights``: (num_filters, in_depth // groups, kernel, kernel).
+        """
+        geom = work.geometry
+        config = self.config
+        lanes = config.neuron_lanes
+        kernel = geom["kernel"]
+        stride = geom["stride"]
+        out_y, out_x = geom["out_y"], geom["out_x"]
+        num_filters = geom["num_filters"]
+        output = np.zeros((num_filters, out_y, out_x), dtype=np.float64)
+        cycles = 0
+
+        for group in range(work.num_groups):
+            slab = group_activations(work, group)
+            group_filters = work.filters_per_group
+            f_base = group * group_filters
+            passes = ceil_div(group_filters, config.filters_per_pass)
+            for p in range(passes):
+                pass_first = p * config.filters_per_pass
+                pass_filters = min(
+                    config.filters_per_pass, group_filters - pass_first
+                )
+                units = self._build_units(
+                    weights[f_base + pass_first : f_base + pass_first + pass_filters],
+                    lanes,
+                )
+                for oy in range(out_y):
+                    for ox in range(out_x):
+                        window = slab[
+                            :,
+                            oy * stride : oy * stride + kernel,
+                            ox * stride : ox * stride + kernel,
+                        ]
+                        blocks = build_fetch_blocks(
+                            window, lanes, config.fetch_packing
+                        )
+                        for unit, _ in units:
+                            unit.reset_window()
+                        for block in blocks:
+                            self.counters.add("nm_reads")
+                            payload = self.bus.broadcast(list(block))
+                            for unit, _ in units:
+                                unit.process_fetch_block(np.asarray(payload))
+                            cycles += 1
+                        for unit, unit_filters in units:
+                            sums = unit.window_outputs()[: len(unit_filters)]
+                            for local, f in enumerate(unit_filters):
+                                output[f_base + pass_first + f, oy, ox] = sums[local]
+                        self.counters.add(
+                            "nm_writes", ceil_div(pass_filters, lanes)
+                        )
+
+        self.counters.add("cycles", cycles)
+        return StructuralRunResult(output=output, cycles=cycles, counters=self.counters)
+
+    def _build_units(
+        self, pass_weights: np.ndarray, lanes: int
+    ) -> list[tuple[NFU, list[int]]]:
+        """Instantiate NFUs for one pass; filters distributed unit-major."""
+        config = self.config
+        units: list[tuple[NFU, list[int]]] = []
+        for u in range(config.num_units):
+            first = u * config.filters_per_unit
+            unit_filters = list(
+                range(first, min(first + config.filters_per_unit, pass_weights.shape[0]))
+            )
+            if not unit_filters:
+                break
+            w = np.zeros(
+                (config.filters_per_unit,) + pass_weights.shape[1:], dtype=np.float64
+            )
+            w[: len(unit_filters)] = pass_weights[unit_filters]
+            sb_columns = build_sb_columns(w, lanes, config.fetch_packing)
+            units.append((NFU(config, sb_columns, counters=self.counters), unit_filters))
+        return units

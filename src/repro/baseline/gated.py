@@ -1,0 +1,68 @@
+"""A zero-gating baseline: Eyeriss-style power gating without skipping.
+
+Section VI contrasts CNV with Eyeriss, which "gates zero neuron
+computations to save power but does not skip them as CNV does".  This
+comparator makes that distinction quantitative: it is DaDianNao with
+zero-operand multipliers (and their adder-tree inputs and SB reads)
+clock-gated — identical cycle counts to the baseline, reduced dynamic
+energy.  Comparing the three designs separates CNV's *time* benefit from
+its *energy* benefit.
+"""
+
+from __future__ import annotations
+
+from repro.baseline.timing import baseline_conv_timing, conv_works_from_inputs
+from repro.baseline.other_layers import other_layers_timing
+from repro.baseline.workload import ConvWork
+from repro.hw.config import ArchConfig
+from repro.hw.counters import ActivityCounters
+from repro.hw.timing_types import LayerTiming, NetworkTiming
+from repro.nn.network import Network
+
+__all__ = ["gated_conv_timing", "gated_network_timing"]
+
+#: Activity that a gated zero-operand lane does not consume.
+_GATED_COUNTERS = ("mults", "adds", "sb_reads")
+
+
+def gated_conv_timing(work: ConvWork, config: ArchConfig) -> LayerTiming:
+    """Baseline timing with zero-operand datapath activity gated off."""
+    timing = baseline_conv_timing(work, config)
+    events = timing.lane_events
+    if "conv1" in events:
+        # conv1 inputs are image pixels; effectively nothing gates.
+        return LayerTiming(
+            name=timing.name,
+            kind=timing.kind,
+            cycles=timing.cycles,
+            lane_events=dict(events),
+            counters=timing.counters,
+        )
+    total = events.get("nonzero", 0.0) + events.get("zero", 0.0)
+    effectual = events.get("nonzero", 0.0) / total if total else 1.0
+    counters = ActivityCounters()
+    for name, value in timing.counters.as_dict().items():
+        counters.add(name, value * effectual if name in _GATED_COUNTERS else value)
+    return LayerTiming(
+        name=timing.name,
+        kind=timing.kind,
+        cycles=timing.cycles,  # gating never saves a cycle
+        lane_events=dict(events),
+        counters=counters,
+    )
+
+
+def gated_network_timing(
+    network: Network,
+    conv_inputs: dict,
+    config: ArchConfig,
+) -> NetworkTiming:
+    """Full-network timing of the gating comparator."""
+    layers = [
+        gated_conv_timing(work, config)
+        for work in conv_works_from_inputs(network, conv_inputs)
+    ]
+    layers.extend(other_layers_timing(network, config))
+    return NetworkTiming(
+        network=network.name, architecture="dadiannao-gated", layers=layers
+    )

@@ -1,0 +1,71 @@
+"""The DaDianNao Neural Functional Unit (NFU), Section IV-A / Fig. 5(a).
+
+One NFU processes, per cycle, ``neuron_lanes`` input neurons against
+``neuron_lanes x filters_per_unit`` synapses (16 x 256 in the paper): each
+neuron lane broadcasts its neuron to one synapse sublane of every filter
+lane, the 256 multipliers fire, and one adder tree per filter lane reduces
+its ``neuron_lanes`` products together with the partial sum read from
+NBout.  All lanes advance in lock step — the coupling that prevents the
+baseline from skipping zero-valued neurons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw.buffers import PartialSumBuffer
+from repro.hw.config import ArchConfig
+from repro.hw.counters import ActivityCounters
+from repro.hw.memory import SynapseBuffer
+
+__all__ = ["NFU"]
+
+
+class NFU:
+    """One baseline unit: lock-step lanes, a private SB, an NBout."""
+
+    def __init__(
+        self,
+        config: ArchConfig,
+        sb_columns: np.ndarray,
+        counters: ActivityCounters | None = None,
+    ):
+        """``sb_columns`` has shape ``(num_columns, filters_per_unit,
+        neuron_lanes)``: column ``c`` holds, for every filter lane, the
+        synapses matching fetch block ``c`` of the window."""
+        self.config = config
+        self.counters = counters if counters is not None else ActivityCounters()
+        flat = sb_columns.reshape(sb_columns.shape[0], -1)
+        self.sb = SynapseBuffer(columns=flat, counters=self.counters)
+        self._col_shape = sb_columns.shape[1:]
+        self.nbout = PartialSumBuffer(config.filters_per_unit, counters=self.counters)
+        self._column = 0
+
+    def reset_window(self) -> None:
+        """Start a new window: rewind the SB pointer, clear partial sums."""
+        self._column = 0
+        self.nbout.drain()
+
+    def process_fetch_block(self, neurons: np.ndarray) -> None:
+        """One cycle: multiply a fetch block against the current SB column.
+
+        ``neurons`` has ``neuron_lanes`` entries (zero padded).  Every
+        multiplier fires regardless of value — the baseline performs the
+        ineffectual products.
+        """
+        lanes = self.config.neuron_lanes
+        if neurons.shape != (lanes,):
+            raise ValueError(f"fetch block must have {lanes} neurons")
+        column = self.sb.read_column(self._column).reshape(self._col_shape)
+        self._column += 1
+        products = column * neurons[np.newaxis, :]  # (filters, lanes)
+        self.counters.add("mults", products.size)
+        self.counters.add("adds", products.size)
+        self.counters.add("nbin_reads", lanes)
+        partial = products.sum(axis=1)
+        for f in range(self.config.filters_per_unit):
+            self.nbout.accumulate(f, float(partial[f]))
+
+    def window_outputs(self) -> np.ndarray:
+        """Drain NBout: the unit's output neurons for the finished window."""
+        return self.nbout.drain()

@@ -1,0 +1,103 @@
+"""Timing of the non-convolutional ("other") layers.
+
+These layers run identically on DaDianNao and CNV — CNV only accelerates
+convolutional layers past the first — so a shared model keeps the two
+architectures consistent.  Throughputs follow the DaDianNao design:
+
+* pooling and LRN stream neurons through the units' dedicated circuitry at
+  one fetch block (``neuron_lanes`` neurons) per unit per cycle;
+* LRN additionally needs the cross-channel sum-of-squares pipeline, modelled
+  as a 2x cycle cost;
+* fully-connected layers behave like a 1x1 convolution with a single window
+  and unique synapses: ``ceil(inputs/lanes) * ceil(outputs/filters_per_pass)``
+  compute cycles.  When the layer's synapses exceed total SB capacity and a
+  finite off-chip bandwidth is configured, streaming can bound the layer
+  instead (off by default: the paper's conv-dominated activity breakdowns
+  imply perfectly overlapped synapse prefetch — see DESIGN.md);
+* ReLU is fused into the producing layer; dropout, concat and softmax are
+  free or negligible (softmax runs on the host in DaDianNao).
+"""
+
+from __future__ import annotations
+
+from repro.hw.config import ArchConfig
+from repro.hw.counters import ActivityCounters
+from repro.hw.timing_types import LayerTiming
+from repro.nn.network import LayerKind, Network
+
+__all__ = ["other_layer_timing", "other_layers_timing"]
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def other_layer_timing(
+    network: Network, layer_name: str, config: ArchConfig
+) -> LayerTiming | None:
+    """Timing for one non-conv layer; None if the layer costs nothing."""
+    layer = network.layers[network.index_of(layer_name)]
+    counters = ActivityCounters()
+
+    if layer.kind in (LayerKind.MAXPOOL, LayerKind.AVGPOOL):
+        depth, in_y, in_x = network.input_shape_of(layer_name)
+        neurons = depth * in_y * in_x
+        per_cycle = config.num_units * config.neuron_lanes
+        cycles = _ceil_div(neurons, per_cycle)
+        counters.add("adds", neurons)  # comparators / accumulators
+        counters.add("nm_reads", _ceil_div(neurons, config.neuron_lanes))
+        out_d, out_y, out_x = network.output_shape(layer_name)
+        counters.add("nm_writes", _ceil_div(out_d * out_y * out_x, config.neuron_lanes))
+    elif layer.kind == LayerKind.LRN:
+        depth, in_y, in_x = network.input_shape_of(layer_name)
+        neurons = depth * in_y * in_x
+        per_cycle = config.num_units * config.neuron_lanes
+        cycles = 2 * _ceil_div(neurons, per_cycle)
+        counters.add("mults", neurons * 2)  # squares + scale
+        counters.add("nm_reads", _ceil_div(neurons, config.neuron_lanes))
+        counters.add("nm_writes", _ceil_div(neurons, config.neuron_lanes))
+    elif layer.kind == LayerKind.FC:
+        depth, in_y, in_x = network.input_shape_of(layer_name)
+        inputs = depth * in_y * in_x
+        outputs = layer.num_filters
+        compute = _ceil_div(inputs, config.neuron_lanes) * _ceil_div(
+            outputs, config.filters_per_pass
+        )
+        cycles = compute
+        synapse_bytes = inputs * outputs * (config.data_bits // 8)
+        if (
+            config.offchip_gbytes_per_sec is not None
+            and synapse_bytes > config.sb_bytes_total
+        ):
+            bytes_per_cycle = config.offchip_gbytes_per_sec / config.frequency_ghz
+            cycles = max(compute, int(synapse_bytes / bytes_per_cycle))
+        counters.add("mults", inputs * outputs)
+        counters.add("adds", inputs * outputs)
+        counters.add("sb_reads", inputs * outputs / config.neuron_lanes)
+        counters.add("nm_reads", _ceil_div(inputs, config.neuron_lanes))
+        counters.add("nm_writes", _ceil_div(outputs, config.neuron_lanes))
+    elif layer.kind == LayerKind.SOFTMAX:
+        return None  # host-side in DaDianNao
+    else:  # relu (fused), dropout, concat: no cycles
+        return None
+
+    events = float(cycles * config.num_units * config.neuron_lanes)
+    return LayerTiming(
+        name=layer_name,
+        kind=layer.kind,
+        cycles=cycles,
+        lane_events={"other": events},
+        counters=counters,
+    )
+
+
+def other_layers_timing(network: Network, config: ArchConfig) -> list[LayerTiming]:
+    """Timings for every non-conv layer of the network (skipping free ones)."""
+    timings = []
+    for layer in network.layers:
+        if layer.is_conv:
+            continue
+        timing = other_layer_timing(network, layer.name, config)
+        if timing is not None:
+            timings.append(timing)
+    return timings

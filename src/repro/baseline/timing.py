@@ -1,0 +1,153 @@
+"""Analytic (vectorized) timing model of the DaDianNao baseline.
+
+DaDianNao couples all neuron lanes in lock step (Section III-B): every
+cycle one fetch block of ``neuron_lanes`` neurons is broadcast to all
+units and multiplied — zero or not — against one SB column per unit.  A
+window of ``Fy x Fx x i`` neurons takes exactly
+``ceil(Fy * Fx * i / neuron_lanes)`` cycles per filter pass, regardless of
+values (``ArchConfig.fetch_packing = "row"`` ablates NM-row-contiguous
+blocks at ``Fy * ceil(Fx*i/16)``; both agree for 16-multiple depths).
+Filters beyond ``units x filters_per_unit`` (256) require additional
+passes over the window stream; grouped convolutions run their groups
+sequentially with the reduced depth and filter count.
+
+The model also produces the paper's Fig. 10 execution-activity events: for
+the baseline every lane event during a conv layer is either *non-zero* or
+*zero* depending on the neuron value occupying the lane (padding slots of
+the final partial fetch block count as zero — they occupy lanes exactly
+like zero-valued neurons do).
+
+These closed-form counts are proven equal to the structural cycle-by-cycle
+simulator (:mod:`repro.baseline.accelerator`) by the property-based tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baseline.other_layers import other_layers_timing
+from repro.baseline.workload import ConvWork, ceil_div, group_activations, window_sums
+from repro.hw.config import ArchConfig
+from repro.hw.counters import ActivityCounters
+from repro.hw.timing_types import LayerTiming, NetworkTiming
+from repro.nn.network import Network
+
+__all__ = [
+    "baseline_conv_timing",
+    "baseline_network_timing",
+    "conv_works_from_inputs",
+]
+
+
+def baseline_conv_timing(work: ConvWork, config: ArchConfig) -> LayerTiming:
+    """Cycles and activity for one conv layer on the baseline."""
+    geom = work.geometry
+    lanes = config.neuron_lanes
+    kernel_y = kernel_x = geom["kernel"]
+    stride = geom["stride"]
+    out_y, out_x = geom["out_y"], geom["out_x"]
+    windows = out_y * out_x
+
+    counters = ActivityCounters()
+    total_cycles = 0
+    nonzero_events = 0.0
+    zero_events = 0.0
+
+    for group in range(work.num_groups):
+        slab = group_activations(work, group)
+        depth = slab.shape[0]
+        passes = ceil_div(work.filters_per_group, config.filters_per_pass)
+        if config.fetch_packing == "row":
+            # NM-contiguous blocks: pack (features, x) within a window
+            # row, never across rows.
+            cycles_per_window = kernel_y * ceil_div(kernel_x * depth, lanes)
+        else:
+            # Dense window packing (default; Section II linearity).
+            cycles_per_window = ceil_div(kernel_y * kernel_x * depth, lanes)
+        group_cycles = windows * cycles_per_window * passes
+        total_cycles += group_cycles
+
+        # Non-zero neuron slots per window via an integral image over the
+        # depth-summed mask.
+        mask_plane = (slab != 0.0).sum(axis=0).astype(np.float64)
+        nnz_per_window = window_sums(
+            mask_plane, kernel_y, kernel_x, stride, out_y, out_x
+        )
+        total_nnz = float(nnz_per_window.sum())
+        slots_per_window = cycles_per_window * lanes
+        total_slots = float(windows * slots_per_window)
+
+        scale = passes * config.num_units
+        nonzero_events += scale * total_nnz
+        zero_events += scale * (total_slots - total_nnz)
+
+        # Datapath activity: every multiplier runs every cycle; each neuron
+        # slot meets every filter of the group once across the passes.
+        counters.add("mults", total_slots * work.filters_per_group)
+        counters.add("adds", total_slots * work.filters_per_group)
+        counters.add(
+            "sb_reads", total_slots * work.filters_per_group / config.filters_per_unit
+        )
+        counters.add("nm_reads", windows * cycles_per_window * passes)
+        # Every unit has a private NBin written by the broadcast and read
+        # by its lanes each cycle.
+        counters.add("nbin_reads", group_cycles * lanes * config.num_units)
+        counters.add("nbin_writes", group_cycles * lanes * config.num_units)
+        counters.add(
+            "nbout_reads", group_cycles * config.num_units * config.filters_per_unit
+        )
+        counters.add(
+            "nbout_writes", group_cycles * config.num_units * config.filters_per_unit
+        )
+        counters.add(
+            "nm_writes", ceil_div(work.filters_per_group * windows, lanes)
+        )
+        counters.add("broadcasts", windows * cycles_per_window * passes)
+
+    if work.is_first:
+        lane_events = {"conv1": nonzero_events + zero_events}
+    else:
+        lane_events = {"nonzero": nonzero_events, "zero": zero_events}
+
+    return LayerTiming(
+        name=work.name,
+        kind="conv",
+        cycles=total_cycles,
+        lane_events=lane_events,
+        counters=counters,
+    )
+
+
+def conv_works_from_inputs(
+    network: Network, conv_inputs: dict[str, np.ndarray]
+) -> list[ConvWork]:
+    """Build per-layer workloads from a forward pass's recorded conv inputs."""
+    first = network.first_conv_layers()
+    works = []
+    for layer in network.conv_layers:
+        if layer.name not in conv_inputs:
+            raise KeyError(f"no recorded input for conv layer {layer.name!r}")
+        works.append(
+            ConvWork(
+                name=layer.name,
+                geometry=network.conv_geometry(layer),
+                activations=conv_inputs[layer.name],
+                is_first=layer.name in first,
+            )
+        )
+    return works
+
+
+def baseline_network_timing(
+    network: Network,
+    conv_inputs: dict[str, np.ndarray],
+    config: ArchConfig,
+) -> NetworkTiming:
+    """Full-network baseline timing: conv layers from measured activations,
+    non-conv layers from the shared 'other' model."""
+    layers = [
+        baseline_conv_timing(work, config)
+        for work in conv_works_from_inputs(network, conv_inputs)
+    ]
+    layers.extend(other_layers_timing(network, config))
+    return NetworkTiming(network=network.name, architecture="dadiannao", layers=layers)

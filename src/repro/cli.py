@@ -1,0 +1,178 @@
+"""``cnvlutin-sim`` — simulate single layers or networks from the shell.
+
+Two subcommands:
+
+``layer``
+    Simulate one synthetic conv layer on both architectures::
+
+        cnvlutin-sim layer --depth 256 --size 14 --filters 256 \\
+            --kernel 3 --pad 1 --sparsity 0.45
+
+    With ``--structural`` (small layers only) the cycle-by-cycle node
+    simulators run and are checked against the analytic models.
+
+``network``
+    Calibrate one of the six paper networks and print its per-layer
+    baseline/CNV cycles::
+
+        cnvlutin-sim network alex --scale reduced
+
+Architecture knobs (``--units``, ``--lanes``, ``--filters-per-unit``,
+``--brick-size``, ``--free-empty-bricks``) apply to both subcommands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.baseline.timing import baseline_conv_timing
+from repro.baseline.workload import ConvWork
+from repro.core.timing import cnv_conv_timing
+from repro.experiments.report import format_table
+from repro.hw.config import PAPER_CONFIG, ArchConfig
+from repro.nn.activations import sparse_activations
+from repro.power.energy import energy_report
+
+__all__ = ["main"]
+
+
+def _arch_from_args(args) -> ArchConfig:
+    return PAPER_CONFIG.with_(
+        num_units=args.units,
+        neuron_lanes=args.lanes,
+        filters_per_unit=args.filters_per_unit,
+        brick_size=args.brick_size,
+        empty_brick_cycles=0 if args.free_empty_bricks else 1,
+    )
+
+
+def _add_arch_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--units", type=int, default=16)
+    parser.add_argument("--lanes", type=int, default=16)
+    parser.add_argument("--filters-per-unit", type=int, default=16)
+    parser.add_argument("--brick-size", type=int, default=16)
+    parser.add_argument("--free-empty-bricks", action="store_true")
+
+
+def _run_layer(args) -> int:
+    arch = _arch_from_args(args)
+    rng = np.random.default_rng(args.seed)
+    out = (args.size - args.kernel + 2 * args.pad) // args.stride + 1
+    if out <= 0:
+        print("error: non-positive output size", file=sys.stderr)
+        return 2
+    activations = sparse_activations(
+        (args.depth, args.size, args.size), args.sparsity, rng
+    )
+    geometry = {
+        "in_depth": args.depth, "in_y": args.size, "in_x": args.size,
+        "num_filters": args.filters, "kernel": args.kernel,
+        "stride": args.stride, "pad": args.pad, "groups": args.groups,
+        "out_y": out, "out_x": out,
+    }
+    work = ConvWork("layer", geometry, activations, is_first=args.first_layer)
+
+    base = baseline_conv_timing(work, arch)
+    cnv = cnv_conv_timing(work, arch)
+    print(f"layer: {args.depth}x{args.size}x{args.size} -> "
+          f"{args.filters} filters {args.kernel}x{args.kernel} "
+          f"(stride {args.stride}, pad {args.pad}, "
+          f"{args.sparsity:.0%} zero neurons)")
+    print(f"baseline cycles: {base.cycles}")
+    print(f"cnv cycles:      {cnv.cycles}")
+    print(f"speedup:         {base.cycles / cnv.cycles:.3f}x")
+    events = cnv.lane_events
+    total = sum(base.lane_events.values())
+    for category, value in events.items():
+        print(f"  cnv {category:8s} events: {value / total:.1%} of baseline")
+
+    freq = arch.frequency_ghz
+    base_e = energy_report(base.counters, base.cycles / (freq * 1e9), "dadiannao")
+    cnv_e = energy_report(cnv.counters, cnv.cycles / (freq * 1e9), "cnvlutin")
+    print(f"energy: baseline {base_e.total_j * 1e6:.2f} uJ, "
+          f"cnv {cnv_e.total_j * 1e6:.2f} uJ "
+          f"({base_e.total_j / cnv_e.total_j:.2f}x gain)")
+
+    if args.structural:
+        from repro.baseline.accelerator import DaDianNaoNode
+        from repro.core.accelerator import CnvNode
+        from repro.nn.layers import conv2d
+
+        weights = rng.normal(size=(args.filters, args.depth // args.groups,
+                                   args.kernel, args.kernel))
+        golden = conv2d(activations, weights, stride=args.stride,
+                        pad=args.pad, groups=args.groups)
+        sbase = DaDianNaoNode(arch).run_conv_layer(work, weights)
+        scnv = CnvNode(arch).run_conv_layer(work, weights)
+        ok = (np.allclose(sbase.output, golden)
+              and np.allclose(scnv.output, golden)
+              and sbase.cycles == base.cycles
+              and scnv.cycles == cnv.cycles)
+        print(f"structural check: {'ok' if ok else 'MISMATCH'} "
+              f"(outputs vs golden, cycles vs analytic)")
+        if not ok:
+            return 1
+    return 0
+
+
+def _run_network(args) -> int:
+    from repro.experiments.config import PaperConfig
+    from repro.experiments.context import ExperimentContext
+
+    arch = _arch_from_args(args)
+    config = PaperConfig(scale=args.scale, networks=[args.name])
+    ctx = ExperimentContext(config, arch=arch)
+    base = ctx.baseline_timing(args.name)
+    cnv = ctx.cnv_timing(args.name)
+    cnv_by = cnv.cycles_by_layer()
+    rows = []
+    for layer in base.layers:
+        cnv_c = cnv_by.get(layer.name, layer.cycles)
+        rows.append({
+            "layer": layer.name,
+            "kind": layer.kind,
+            "baseline": layer.cycles,
+            "cnv": cnv_c,
+            "speedup": layer.cycles / cnv_c if cnv_c else float("inf"),
+        })
+    print(format_table(rows))
+    print(f"\ntotal speedup: {base.total_cycles / cnv.total_cycles:.3f}x "
+          f"({args.name} @ {args.scale} scale)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="cnvlutin-sim", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    layer = sub.add_parser("layer", help="simulate one synthetic conv layer")
+    layer.add_argument("--depth", type=int, default=256)
+    layer.add_argument("--size", type=int, default=14)
+    layer.add_argument("--filters", type=int, default=256)
+    layer.add_argument("--kernel", type=int, default=3)
+    layer.add_argument("--stride", type=int, default=1)
+    layer.add_argument("--pad", type=int, default=1)
+    layer.add_argument("--groups", type=int, default=1)
+    layer.add_argument("--sparsity", type=float, default=0.44)
+    layer.add_argument("--seed", type=int, default=0)
+    layer.add_argument("--first-layer", action="store_true")
+    layer.add_argument("--structural", action="store_true",
+                       help="also run the cycle-by-cycle node simulators")
+    _add_arch_args(layer)
+    layer.set_defaults(func=_run_layer)
+
+    network = sub.add_parser("network", help="per-layer timing of a paper network")
+    network.add_argument("name", choices=["alex", "google", "nin", "vgg19", "cnnM", "cnnS"])
+    network.add_argument("--scale", default="reduced", choices=["tiny", "reduced", "full"])
+    _add_arch_args(network)
+    network.set_defaults(func=_run_network)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

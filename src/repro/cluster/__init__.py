@@ -1,0 +1,25 @@
+"""Multi-node scaling (Section IV-A).
+
+DaDianNao is a *supercomputer* node design: "multiple nodes can be used to
+process larger DNNs that do not fit in the NM and SBs available in a
+single node."  This package models that scaling for both architectures —
+filter-partitioned layer execution, inter-node input broadcast over the
+mesh, and the capacity accounting that decides how many nodes a network
+needs in the first place.
+"""
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.timing import (
+    ClusterLayerTiming,
+    capacity_report,
+    cluster_network_timing,
+    nodes_required,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterLayerTiming",
+    "capacity_report",
+    "cluster_network_timing",
+    "nodes_required",
+]

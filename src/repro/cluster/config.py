@@ -1,0 +1,47 @@
+"""Cluster configuration: nodes plus the inter-node interconnect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.config import PAPER_CONFIG, ArchConfig
+
+__all__ = ["ClusterConfig"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """A mesh of accelerator nodes.
+
+    Attributes
+    ----------
+    num_nodes:
+        Nodes in the system (DaDianNao scales to 64).
+    node:
+        The per-node architecture (baseline and CNV share geometry).
+    link_gbytes_per_sec:
+        Per-node external link bandwidth for broadcasting input neurons
+        (DaDianNao uses four HyperTransport 2.0 links; the paper's traffic
+        is "the initial input, loading the synapses once per layer, and
+        writing the final output").
+    broadcast_overlap:
+        Fraction of the input broadcast hidden under compute; synapse
+        loading is fully overlapped per the paper, and neuron traffic
+        largely is too.
+    """
+
+    num_nodes: int = 4
+    node: ArchConfig = PAPER_CONFIG
+    link_gbytes_per_sec: float = 25.6
+    broadcast_overlap: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if not 0.0 <= self.broadcast_overlap <= 1.0:
+            raise ValueError("broadcast_overlap must be in [0, 1]")
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Link bandwidth expressed per node-clock cycle."""
+        return self.link_gbytes_per_sec / self.node.frequency_ghz

@@ -1,0 +1,256 @@
+"""Structural (cycle-by-cycle) simulator of a Cnvlutin node.
+
+A CNV node is ``num_units`` units fed by one dispatcher (the interconnect
+broadcasts each lane's ``(value, offset)`` pair to that lane's subunit in
+every unit).  Per window the node:
+
+1. builds each lane's brick queue from the ZFNAf-encoded input (the
+   brick-interleaved assignment of :func:`repro.core.timing.lane_assignment`);
+2. steps the dispatcher and units cycle by cycle until every lane has
+   drained — lanes that finish early idle, which the observer records as
+   *stall* events (Section IV-B5 synchronization);
+3. drains the adder-tree partial sums into output neurons.
+
+The simulator is functional (outputs validated against the im2col golden
+model) and its cycle counts equal the closed-form model in
+:mod:`repro.core.timing` (property-based tests).  Use scaled-down
+:func:`repro.hw.config.small_config` geometries; full networks use the
+analytic model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baseline.accelerator import StructuralRunResult
+from repro.baseline.workload import ConvWork, ceil_div, group_activations
+from repro.core.dispatcher import DispatchedBrick, Dispatcher, LaneSlot
+from repro.core.encoder import Encoder
+from repro.core.subunit import build_subunit_sb
+from repro.core.timing import lane_assignment
+from repro.core.unit import CnvUnit
+from repro.core.zfnaf import ZfnafArray, encode
+from repro.hw.config import ArchConfig
+from repro.hw.counters import ActivityCounters
+from repro.hw.events import CycleKernel
+
+__all__ = ["CnvNode", "encode_layer_output"]
+
+
+class _EventObserver:
+    """Clocked probe recording Fig. 10 lane events from dispatcher slots."""
+
+    def __init__(self, dispatcher: Dispatcher, num_units: int, counters: ActivityCounters):
+        self.dispatcher = dispatcher
+        self.num_units = num_units
+        self.counters = counters
+
+    def tick(self, cycle: int) -> None:
+        for slot in self.dispatcher.current_slots:
+            if slot.kind == "pair":
+                self.counters.add_lane_event("nonzero", self.num_units)
+            elif slot.kind == "bubble":
+                self.counters.add_lane_event("zero", self.num_units)
+            else:
+                self.counters.add_lane_event("stall", self.num_units)
+
+
+class CnvNode:
+    """A Cnvlutin node: dispatcher + ``num_units`` CNV units."""
+
+    def __init__(self, config: ArchConfig):
+        self.config = config
+        self.counters = ActivityCounters()
+
+    def run_conv_layer(
+        self,
+        work: ConvWork,
+        weights: np.ndarray,
+        input_zfnaf: dict[int, ZfnafArray] | None = None,
+    ) -> StructuralRunResult:
+        """Run one (encoded) conv layer; returns outputs and exact cycles.
+
+        ``weights``: (num_filters, in_depth // groups, kernel, kernel).
+        ``input_zfnaf`` optionally supplies pre-encoded per-group inputs
+        (e.g. produced by the previous layer's encoders); otherwise the
+        padded input is encoded here, standing in for the preceding
+        layer's on-the-fly encoding.
+
+        Layers flagged as first (raw image input) run *unencoded*: the
+        per-layer software flag of Section IV-B disables the offset
+        fields and the unit behaves exactly like the baseline, so the run
+        is delegated to the lock-step model (conv1 is not accelerated).
+        """
+        if work.is_first and not self.config.first_layer_encoded:
+            from repro.baseline.accelerator import DaDianNaoNode
+
+            result = DaDianNaoNode(self.config).run_conv_layer(work, weights)
+            self.counters.merge(result.counters)
+            return StructuralRunResult(
+                output=result.output, cycles=result.cycles, counters=self.counters
+            )
+        geom = work.geometry
+        config = self.config
+        lanes = config.neuron_lanes
+        kernel = geom["kernel"]
+        stride = geom["stride"]
+        out_y, out_x = geom["out_y"], geom["out_x"]
+        num_filters = geom["num_filters"]
+        output = np.zeros((num_filters, out_y, out_x), dtype=np.float64)
+        total_cycles = 0
+
+        for group in range(work.num_groups):
+            slab = group_activations(work, group)
+            zfnaf = (
+                input_zfnaf[group]
+                if input_zfnaf is not None
+                else encode(slab, config.brick_size)
+            )
+            bricks_per_column = zfnaf.bricks_per_column
+            assignment = lane_assignment(kernel, kernel, bricks_per_column, lanes)
+            lane_positions = self._lane_positions(assignment, kernel, bricks_per_column)
+
+            group_filters = work.filters_per_group
+            f_base = group * group_filters
+            passes = ceil_div(group_filters, config.filters_per_pass)
+            for p in range(passes):
+                pass_first = p * config.filters_per_pass
+                pass_filters = min(config.filters_per_pass, group_filters - pass_first)
+                units = self._build_units(
+                    weights[f_base + pass_first : f_base + pass_first + pass_filters],
+                    lane_positions,
+                    zfnaf.original_depth,
+                )
+                dispatcher = Dispatcher(config, counters=self.counters)
+                # The Fig. 10 metric counts units x lanes x cycles events:
+                # all physical units tick, even when a partial pass leaves
+                # some without filters.
+                observer = _EventObserver(dispatcher, config.num_units, self.counters)
+                components: list = [dispatcher]
+                for unit, _ in units:
+                    unit.attach(dispatcher)
+                    components.append(unit)
+                components.append(observer)
+                kernel_sim = CycleKernel(components)
+
+                for oy in range(out_y):
+                    for ox in range(out_x):
+                        queues = self._window_queues(
+                            zfnaf, lane_positions, oy * stride, ox * stride
+                        )
+                        dispatcher.load_window(queues)
+                        for unit, _ in units:
+                            unit.reset_window()
+                        cycles = kernel_sim.run_until(lambda: dispatcher.window_done)
+                        total_cycles += cycles
+                        for u, (unit, unit_filters) in enumerate(units):
+                            sums = unit.window_outputs()[: len(unit_filters)]
+                            for local, f in enumerate(unit_filters):
+                                output[f_base + pass_first + f, oy, ox] = sums[local]
+
+        self.counters.add("cycles", total_cycles)
+        return StructuralRunResult(
+            output=output, cycles=total_cycles, counters=self.counters
+        )
+
+    # ------------------------------------------------------------------
+    def _lane_positions(
+        self, assignment: np.ndarray, kernel: int, bricks_per_column: int
+    ) -> list[list[tuple[int, int, int]]]:
+        """Ordered (fy, fx, bz) brick positions owned by each lane."""
+        lanes = self.config.neuron_lanes
+        positions: list[list[tuple[int, int, int]]] = [[] for _ in range(lanes)]
+        for fy in range(kernel):
+            for fx in range(kernel):
+                for bz in range(bricks_per_column):
+                    positions[int(assignment[fy, fx, bz])].append((fy, fx, bz))
+        return positions
+
+    def _window_queues(
+        self,
+        zfnaf: ZfnafArray,
+        lane_positions: list[list[tuple[int, int, int]]],
+        y0: int,
+        x0: int,
+    ) -> list[list[DispatchedBrick]]:
+        queues: list[list[DispatchedBrick]] = []
+        for positions in lane_positions:
+            queue = []
+            for seq, (fy, fx, bz) in enumerate(positions):
+                values, offsets = zfnaf.brick(y0 + fy, x0 + fx, bz)
+                queue.append(DispatchedBrick(values=values, offsets=offsets, seq=seq))
+            queues.append(queue)
+        return queues
+
+    def _build_units(
+        self,
+        pass_weights: np.ndarray,
+        lane_positions: list[list[tuple[int, int, int]]],
+        padded_depth: int,
+    ) -> list[tuple[CnvUnit, list[int]]]:
+        config = self.config
+        units: list[tuple[CnvUnit, list[int]]] = []
+        for u in range(config.num_units):
+            first = u * config.filters_per_unit
+            unit_filters = list(
+                range(first, min(first + config.filters_per_unit, pass_weights.shape[0]))
+            )
+            if not unit_filters:
+                break
+            w = np.zeros(
+                (config.filters_per_unit,) + pass_weights.shape[1:], dtype=np.float64
+            )
+            w[: len(unit_filters)] = pass_weights[unit_filters]
+            sbs = [
+                build_subunit_sb(w, positions, config.brick_size)
+                for positions in lane_positions
+            ]
+            units.append((CnvUnit(config, sbs, counters=self.counters), unit_filters))
+        return units
+
+
+def encode_layer_output(
+    output: np.ndarray,
+    config: ArchConfig,
+    threshold: float = 0.0,
+    apply_relu: bool = True,
+    counters: ActivityCounters | None = None,
+) -> ZfnafArray:
+    """Run a layer's output through the per-unit encoders (Section IV-B4).
+
+    ``output`` is the pre-activation (filters, out_y, out_x) array; ReLU
+    (and the optional pruning threshold) are applied as the values stream
+    through, producing the ZFNAf array the next layer will consume.  The
+    result is bit-identical to vectorized encoding of the thresholded
+    activations.
+    """
+    counters = counters if counters is not None else ActivityCounters()
+    activated = np.maximum(output, 0.0) if apply_relu else output.copy()
+    if threshold > 0.0:
+        activated[np.abs(activated) < threshold] = 0.0
+
+    brick = config.brick_size
+    depth, out_y, out_x = activated.shape
+    num_bz = ceil_div(depth, brick)
+    encoder = Encoder(brick_size=brick, threshold=0.0, counters=counters)
+    values = np.zeros((out_y, out_x, num_bz, brick), dtype=np.float64)
+    offsets = np.zeros((out_y, out_x, num_bz, brick), dtype=np.int8)
+    counts = np.zeros((out_y, out_x, num_bz), dtype=np.int16)
+    padded = np.zeros((num_bz * brick, out_y, out_x), dtype=np.float64)
+    padded[:depth] = activated
+    for y in range(out_y):
+        for x in range(out_x):
+            for bz in range(num_bz):
+                neurons = padded[bz * brick : (bz + 1) * brick, y, x]
+                result = encoder.encode_brick(neurons)
+                count = len(result.values)
+                values[y, x, bz, :count] = result.values
+                offsets[y, x, bz, :count] = result.offsets
+                counts[y, x, bz] = count
+    return ZfnafArray(
+        values=values,
+        offsets=offsets,
+        counts=counts,
+        brick_size=brick,
+        original_depth=depth,
+    )

@@ -1,0 +1,153 @@
+"""The CNV dispatcher, Section IV-B3 / Fig. 8.
+
+The dispatcher keeps NM accesses wide while letting every neuron lane drain
+at its own rate.  It has one Brick Buffer (BB) entry per neuron lane; each
+entry receives whole bricks (16-neuron-wide NM reads) and broadcasts one
+``(value, offset)`` pair per cycle to its lane across all units.  Because
+the processing order is static and known in advance, the next brick for a
+lane is prefetched while the current one drains ("the fetching ... can be
+initiated as early as desired"), so a lane never bubbles between bricks;
+a brick containing *only* zero neurons still occupies the one cycle its NM
+bank needed to supply it (``ArchConfig.empty_brick_cycles``).
+
+The paper distributes input slices statically one per NM bank, which is
+exact when the brick-depth of the input is the lane count (i = 256).  For
+shallower layers our lane assignment is window-relative (see
+:mod:`repro.core.timing`), so bricks route from address-interleaved banks
+to BB entries; the static schedule and early prefetch hide that routing,
+and :func:`bank_pressure` quantifies the worst-case per-bank demand the
+paper's sub-banking must sustain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.buffers import BrickBufferEntry
+from repro.hw.config import ArchConfig
+from repro.hw.counters import ActivityCounters
+
+__all__ = ["DispatchedBrick", "LaneSlot", "Dispatcher", "bank_pressure"]
+
+
+@dataclass
+class DispatchedBrick:
+    """One brick queued for a lane: its encoded pairs plus its sequence
+    number within the lane's window order (selects the SB column block)."""
+
+    values: np.ndarray
+    offsets: np.ndarray
+    seq: int
+
+
+@dataclass
+class LaneSlot:
+    """What a lane receives in one cycle.
+
+    ``kind`` is ``"pair"`` (a real (value, offset) broadcast), ``"bubble"``
+    (the lane discarded an all-zero brick this cycle) or ``"idle"`` (the
+    lane finished its window slice and stalls for synchronization).
+    """
+
+    kind: str
+    value: float = 0.0
+    offset: int = 0
+    seq: int = -1
+
+
+class Dispatcher:
+    """Per-window brick dispatch to ``neuron_lanes`` independent lanes."""
+
+    def __init__(self, config: ArchConfig, counters: ActivityCounters | None = None):
+        self.config = config
+        self.counters = counters if counters is not None else ActivityCounters()
+        self._entries = [BrickBufferEntry() for _ in range(config.neuron_lanes)]
+        self._queues: list[list[DispatchedBrick]] = [
+            [] for _ in range(config.neuron_lanes)
+        ]
+        self._seq: list[int] = [-1] * config.neuron_lanes
+        self.current_slots: list[LaneSlot] = [
+            LaneSlot(kind="idle") for _ in range(config.neuron_lanes)
+        ]
+
+    def load_window(self, lane_queues: list[list[DispatchedBrick]]) -> None:
+        """Stage one window's per-lane brick queues (prefetch the heads)."""
+        if len(lane_queues) != self.config.neuron_lanes:
+            raise ValueError("one queue per neuron lane required")
+        self._queues = [list(q) for q in lane_queues]
+        for entry in self._entries:
+            entry.invalidate()
+        self._seq = [-1] * self.config.neuron_lanes
+
+    @property
+    def window_done(self) -> bool:
+        """True when every lane has drained its queue and its BB entry."""
+        return all(
+            entry.exhausted and not queue
+            for entry, queue in zip(self._entries, self._queues)
+        )
+
+    def tick(self, cycle: int) -> None:
+        """Advance one cycle: each lane emits at most one slot."""
+        slots: list[LaneSlot] = []
+        for lane, entry in enumerate(self._entries):
+            if entry.exhausted and self._queues[lane]:
+                brick = self._queues[lane].pop(0)
+                entry.load(list(brick.values), list(brick.offsets))
+                self._seq[lane] = brick.seq
+                self.counters.add("nm_reads")
+                if not brick.values.size:
+                    # An all-zero brick: the NM bank spent this cycle
+                    # supplying it; the lane discards it.
+                    if self.config.empty_brick_cycles:
+                        slots.append(LaneSlot(kind="bubble", seq=brick.seq))
+                        entry.invalidate()
+                        continue
+                    # Free-skip ablation: fall through and try the next
+                    # brick next cycle without consuming this one.
+                    entry.invalidate()
+                    slots.append(self._emit_next(lane))
+                    continue
+            slots.append(self._emit_next(lane))
+        self.current_slots = slots
+
+    def _emit_next(self, lane: int) -> LaneSlot:
+        entry = self._entries[lane]
+        # With free-skip enabled, chew through any run of empty bricks.
+        while entry.exhausted and self._queues[lane]:
+            if self.config.empty_brick_cycles:
+                break
+            brick = self._queues[lane].pop(0)
+            entry.load(list(brick.values), list(brick.offsets))
+            self._seq[lane] = brick.seq
+            self.counters.add("nm_reads")
+        pair = entry.next_pair()
+        if pair is None:
+            return LaneSlot(kind="idle")
+        value, offset = pair
+        self.counters.add("nbin_reads")
+        return LaneSlot(kind="pair", value=value, offset=offset, seq=self._seq[lane])
+
+
+def bank_pressure(
+    brick_addresses: np.ndarray, num_banks: int
+) -> dict[int, int]:
+    """Histogram of same-cycle fetch demand per NM bank.
+
+    ``brick_addresses``: array of shape ``(cycles, lanes)`` with the linear
+    NM brick address each lane fetches at each cycle (-1 for none).  Returns
+    ``{concurrent_fetches_per_bank: occurrences}`` — the sub-banked NM must
+    sustain the maximum key (Section IV-B3 notes the banks are sub-banked
+    for the worst case).
+    """
+    histogram: dict[int, int] = {}
+    for row in brick_addresses:
+        valid = row[row >= 0]
+        if valid.size == 0:
+            continue
+        banks, counts = np.unique(valid % num_banks, return_counts=True)
+        for count in counts:
+            histogram[int(count)] = histogram.get(int(count), 0) + 1
+    return histogram

@@ -1,0 +1,72 @@
+"""The output Encoder subunit, Section IV-B4.
+
+One encoder per CNV unit converts the unit's output bricks to ZFNAf on the
+fly, so the *next* layer sees a zero-free stream.  The hardware is serial —
+a 16-neuron input buffer (IB), a 16-pair output buffer (OB) and an offset
+counter; each cycle it examines one IB neuron, copies it to the next OB
+slot iff non-zero, and writes the offset-counter value alongside.  Serial
+conversion is affordable because output neurons are produced far more
+slowly than inputs are consumed (a window of hundreds of cycles yields one
+output brick per unit).
+
+This model counts the encoder's cycles and produces bit-identical bricks to
+the vectorized :func:`repro.core.zfnaf.encode` (tested property-based).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hw.counters import ActivityCounters
+
+__all__ = ["Encoder", "EncodedBrickResult"]
+
+
+@dataclass
+class EncodedBrickResult:
+    """One brick in ZFNAf plus the cycles the serial encoder spent."""
+
+    values: np.ndarray
+    offsets: np.ndarray
+    cycles: int
+
+
+@dataclass
+class Encoder:
+    """Serial per-unit ZFNAf encoder (IB -> OB with an offset counter)."""
+
+    brick_size: int = 16
+    threshold: float = 0.0
+    counters: ActivityCounters = field(default_factory=ActivityCounters)
+
+    def encode_brick(self, neurons: np.ndarray) -> EncodedBrickResult:
+        """Encode one output brick, one neuron per cycle.
+
+        ``threshold`` implements the Section V-E dynamic pruning: the
+        encoder reuses the pooling comparators to treat near-zero neurons
+        (magnitude below the per-layer threshold) as zero, so they are
+        dropped from the stream and their computation skipped downstream.
+        """
+        neurons = np.asarray(neurons, dtype=np.float64)
+        if neurons.shape != (self.brick_size,):
+            raise ValueError(
+                f"encoder consumes bricks of {self.brick_size} neurons"
+            )
+        ob_values: list[float] = []
+        ob_offsets: list[int] = []
+        cycles = 0
+        for offset_counter in range(self.brick_size):
+            value = neurons[offset_counter]
+            cycles += 1  # one IB read per cycle
+            if value != 0.0 and abs(value) >= self.threshold:
+                ob_values.append(float(value))
+                ob_offsets.append(offset_counter)
+        self.counters.add("encoder_cycles", cycles)
+        self.counters.add("nm_writes", 1)
+        return EncodedBrickResult(
+            values=np.array(ob_values, dtype=np.float64),
+            offsets=np.array(ob_offsets, dtype=np.int64),
+            cycles=cycles,
+        )

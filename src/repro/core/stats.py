@@ -1,0 +1,159 @@
+"""Brick and lane-balance statistics: *why* CNV stalls where it stalls.
+
+CNV's residual inefficiency has two distinct causes that these analyses
+separate (used by EXPERIMENTS.md to explain per-network deviations):
+
+* **value imbalance** — lanes holding the same number of bricks drain at
+  different rates because brick non-zero counts differ (the effect the
+  paper's Section IV-B5 synchronization discussion describes);
+* **structural imbalance** — when a window holds fewer brick columns than
+  the 16 lanes (shallow layers: google's 1x1 reduces, alex conv2's
+  48-deep groups), brick counts per lane already differ by construction,
+  capping the layer's achievable speedup regardless of values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baseline.workload import ConvWork, group_activations
+from repro.core.timing import lane_assignment, window_lane_cycles
+from repro.hw.config import ArchConfig
+from repro.nn.activations import brick_nonzero_counts
+
+__all__ = [
+    "BrickStats",
+    "brick_stats",
+    "LaneBalanceStats",
+    "lane_balance",
+    "structural_speedup_bound",
+    "encoder_throughput_margin",
+]
+
+
+@dataclass
+class BrickStats:
+    """Distribution of non-zero counts over an activation array's bricks."""
+
+    brick_size: int
+    num_bricks: int
+    mean_nonzero: float
+    std_nonzero: float
+    empty_fraction: float
+    full_fraction: float
+    histogram: dict[int, int]
+
+    @property
+    def zero_fraction(self) -> float:
+        return 1.0 - self.mean_nonzero / self.brick_size
+
+
+def brick_stats(activations: np.ndarray, brick_size: int = 16) -> BrickStats:
+    """Per-brick non-zero statistics of one activation array."""
+    counts = brick_nonzero_counts(activations, brick_size).reshape(-1)
+    values, freqs = np.unique(counts, return_counts=True)
+    return BrickStats(
+        brick_size=brick_size,
+        num_bricks=int(counts.size),
+        mean_nonzero=float(counts.mean()),
+        std_nonzero=float(counts.std()),
+        empty_fraction=float((counts == 0).mean()),
+        full_fraction=float((counts == brick_size).mean()),
+        histogram={int(v): int(f) for v, f in zip(values, freqs)},
+    )
+
+
+@dataclass
+class LaneBalanceStats:
+    """Per-window lane balance of one conv layer on CNV."""
+
+    layer: str
+    mean_lane_utilization: float  # mean lane cycles / window max
+    structural_bound: float  # speedup cap from brick-count imbalance alone
+    value_stall_fraction: float  # stalls beyond the structural ones
+
+
+def structural_speedup_bound(
+    kernel: int, bricks_per_column: int, lanes: int
+) -> float:
+    """Best-case CNV-vs-dense ratio from brick counts alone.
+
+    A window has ``kernel² * bricks_per_column`` bricks dealt round-robin;
+    the busiest lane holds ``ceil(bricks / lanes)``.  Even with uniform
+    values, the window cannot finish faster than that lane, so the layer's
+    dense-relative speedup is bounded by ``bricks / (lanes * ceil(...))``
+    (< 1 means CNV is structurally slower than lock-step on this shape).
+    """
+    bricks = kernel * kernel * bricks_per_column
+    busiest = -(-bricks // lanes)
+    return bricks / (lanes * busiest)
+
+
+def encoder_throughput_margin(
+    work: ConvWork, config: ArchConfig
+) -> float:
+    """How comfortably the serial encoder keeps up (Section IV-B4).
+
+    Each unit's encoder needs ``brick_size`` cycles per output brick, and a
+    unit produces one output brick (16 output neurons, one per filter) per
+    window.  The margin is ``mean window cycles / brick_size``: above 1.0
+    the encoder is never the bottleneck — the paper's claim that "output
+    neurons are produced at a much slower rate", checked quantitatively.
+    """
+    from repro.core.timing import cnv_conv_timing
+
+    timing = cnv_conv_timing(work, config)
+    geom = work.geometry
+    windows = geom["out_y"] * geom["out_x"]
+    passes = max(
+        1, -(-work.filters_per_group // config.filters_per_pass)
+    )
+    mean_window_cycles = timing.cycles / (windows * passes * work.num_groups)
+    return mean_window_cycles / config.brick_size
+
+
+def lane_balance(
+    work: ConvWork, config: ArchConfig, group: int = 0
+) -> LaneBalanceStats:
+    """Measured lane balance for one conv layer workload."""
+    geom = work.geometry
+    slab = group_activations(work, group)
+    nnz = brick_nonzero_counts(slab, config.brick_size)
+    cost = np.maximum(nnz, 1) if config.empty_brick_cycles else nnz
+    lane_cycles, _ = window_lane_cycles(
+        cost,
+        nnz,
+        geom["kernel"],
+        geom["kernel"],
+        geom["stride"],
+        geom["out_y"],
+        geom["out_x"],
+        config.neuron_lanes,
+    )
+    window_max = lane_cycles.max(axis=2)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        utilization = np.where(
+            window_max > 0, lane_cycles.mean(axis=2) / window_max, 1.0
+        )
+
+    bound = structural_speedup_bound(
+        geom["kernel"], nnz.shape[2], config.neuron_lanes
+    )
+    # Stalls if every brick had identical cost (structural only):
+    assignment = lane_assignment(
+        geom["kernel"], geom["kernel"], nnz.shape[2], config.neuron_lanes
+    )
+    counts_per_lane = np.bincount(
+        assignment.reshape(-1), minlength=config.neuron_lanes
+    )
+    structural_util = counts_per_lane.mean() / counts_per_lane.max()
+    measured_util = float(utilization.mean())
+    value_stall = max(0.0, structural_util - measured_util)
+    return LaneBalanceStats(
+        layer=work.name,
+        mean_lane_utilization=measured_util,
+        structural_bound=bound,
+        value_stall_fraction=value_stall,
+    )

@@ -1,0 +1,82 @@
+"""The CNV front-end subunit, Section IV-B / Fig. 5(b).
+
+Each subunit owns one neuron lane and one synapse lane per filter of its
+unit (16 in the paper): every cycle it takes a single ``(neuron, offset)``
+pair, uses the offset to index its private SB slice (128 KB), fetches one
+synapse per filter, and produces ``filters_per_unit`` products for the
+unit's adder trees.  Because the subunit sees only non-zero neurons, all of
+its multiplier work is effectual.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw.buffers import NeuronFifo
+from repro.hw.config import ArchConfig
+from repro.hw.counters import ActivityCounters
+from repro.hw.memory import SynapseBuffer
+
+__all__ = ["Subunit", "build_subunit_sb"]
+
+
+def build_subunit_sb(
+    weights: np.ndarray,
+    lane_positions: list[tuple[int, int, int]],
+    brick_size: int,
+) -> np.ndarray:
+    """Arrange a unit's filter synapses into one subunit's SB slice.
+
+    ``weights``: (filters_per_unit, depth, Fy, Fx) for the unit's filters.
+    ``lane_positions``: the (fy, fx, bz) window-relative brick positions
+    assigned to this lane, in processing order — the "transposed store
+    order per subunit" of Section IV-B2, computed statically in software.
+
+    Returns columns of shape ``(len(lane_positions) * brick_size,
+    filters_per_unit)``: brick ``seq``'s pairs index columns
+    ``seq * brick_size + offset``.
+    """
+    filters, depth, _, _ = weights.shape
+    columns = np.zeros((len(lane_positions) * brick_size, filters), dtype=np.float64)
+    for seq, (fy, fx, bz) in enumerate(lane_positions):
+        for k in range(brick_size):
+            z = bz * brick_size + k
+            if z < depth:
+                columns[seq * brick_size + k, :] = weights[:, z, fy, fx]
+    return columns
+
+
+class Subunit:
+    """One decoupled neuron lane with its private SB slice."""
+
+    def __init__(
+        self,
+        config: ArchConfig,
+        sb_columns: np.ndarray,
+        counters: ActivityCounters | None = None,
+    ):
+        self.config = config
+        self.counters = counters if counters is not None else ActivityCounters()
+        self.sb = SynapseBuffer(columns=sb_columns, counters=self.counters)
+        # The subunit NBin: 64 entries of (16-bit value + offset field).
+        # The SRAM is double-pumped — one write and one read per cycle
+        # (Section V-A) — so the broadcast pair is buffered and consumed
+        # in the same cycle at steady state.
+        self.nbin = NeuronFifo(config.nbin_entries, counters=self.counters)
+
+    def process(self, value: float, offset: int, seq: int) -> np.ndarray:
+        """One cycle of work: multiply the neuron against one SB column.
+
+        Returns ``filters_per_unit`` products.  The offset adjusts the SB
+        index so the non-zero neuron meets the synapses its original
+        position required (Section III-C).
+        """
+        if not 0 <= offset < self.config.brick_size:
+            raise ValueError(f"offset {offset} outside brick of {self.config.brick_size}")
+        self.nbin.push(value, offset)  # broadcast write (double-pumped)
+        value, offset = self.nbin.pop()  # lane read, same cycle
+        column = self.sb.read_column(seq * self.config.brick_size + offset)
+        self.counters.add("offset_reads")
+        products = column * value
+        self.counters.add("mults", products.size)
+        return products

@@ -1,0 +1,72 @@
+"""A CNV unit: 16 independent front-end subunits + the unchanged back-end.
+
+The back-end is identical to DaDianNao's (Section III-C): one adder tree
+per filter reduces the products arriving from all subunits plus the partial
+sum from NBout.  Subunits that are stalled or discarding an empty brick
+contribute nothing that cycle — and read no synapses, which is where CNV's
+SB dynamic-energy saving comes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dispatcher import LaneSlot
+from repro.core.subunit import Subunit
+from repro.hw.buffers import PartialSumBuffer
+from repro.hw.config import ArchConfig
+from repro.hw.counters import ActivityCounters
+
+__all__ = ["CnvUnit"]
+
+
+class CnvUnit:
+    """One unit: ``neuron_lanes`` subunits feeding ``filters_per_unit``
+    adder trees, accumulating into NBout."""
+
+    def __init__(
+        self,
+        config: ArchConfig,
+        subunit_sbs: list[np.ndarray],
+        counters: ActivityCounters | None = None,
+    ):
+        if len(subunit_sbs) != config.neuron_lanes:
+            raise ValueError("one SB slice per subunit required")
+        self.config = config
+        self.counters = counters if counters is not None else ActivityCounters()
+        self.subunits = [
+            Subunit(config, sb, counters=self.counters) for sb in subunit_sbs
+        ]
+        self.nbout = PartialSumBuffer(config.filters_per_unit, counters=self.counters)
+        self._source: object | None = None
+
+    def attach(self, dispatcher) -> None:
+        """Wire the unit to the dispatcher's per-cycle lane slots."""
+        self._source = dispatcher
+
+    def reset_window(self) -> None:
+        self.nbout.drain()
+
+    def consume(self, slots: list[LaneSlot]) -> None:
+        """Process one cycle of dispatched lane slots."""
+        totals = np.zeros(self.config.filters_per_unit, dtype=np.float64)
+        any_product = False
+        for lane, slot in enumerate(slots):
+            if slot.kind != "pair":
+                continue
+            totals += self.subunits[lane].process(slot.value, slot.offset, slot.seq)
+            any_product = True
+        if any_product:
+            self.counters.add("adds", self.config.multipliers_per_unit)
+            for f in range(self.config.filters_per_unit):
+                self.nbout.accumulate(f, float(totals[f]))
+
+    def tick(self, cycle: int) -> None:
+        """Clocked interface: consume the dispatcher's current slots."""
+        if self._source is None:
+            raise RuntimeError("unit not attached to a dispatcher")
+        self.consume(self._source.current_slots)
+
+    def window_outputs(self) -> np.ndarray:
+        """Drain the partial sums at window synchronization."""
+        return self.nbout.drain()

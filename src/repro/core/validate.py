@@ -1,0 +1,167 @@
+"""On-the-fly hardware validation (the paper's Section V-A methodology).
+
+"The simulator integrates with the Caffe framework to enable on-the-fly
+validation of the layer output neurons."  This module is that harness for
+the reproduction: it walks a network layer by layer, runs each conv
+layer's *actual* activations through the structural DaDianNao and CNV
+node simulators, and checks the outputs against the inference engine's
+golden values — plus the structural cycle counts against the analytic
+models.
+
+Because the structural simulators step cycle by cycle, validation uses a
+scaled-down node by default and can restrict the spatial extent of each
+layer (``max_spatial``) to keep runs tractable; functional behaviour is
+position-independent, so a spatial crop exercises every datapath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baseline.accelerator import DaDianNaoNode
+from repro.baseline.timing import baseline_conv_timing
+from repro.baseline.workload import ConvWork
+from repro.core.accelerator import CnvNode
+from repro.core.timing import cnv_conv_timing
+from repro.hw.config import ArchConfig, small_config
+from repro.nn.inference import WeightStore, run_forward
+from repro.nn.layers import conv2d
+from repro.nn.network import Network
+
+__all__ = ["LayerValidation", "ValidationReport", "validate_network"]
+
+
+@dataclass
+class LayerValidation:
+    """Validation outcome for one conv layer."""
+
+    layer: str
+    baseline_max_error: float
+    cnv_max_error: float
+    baseline_cycles_match: bool
+    cnv_cycles_match: bool
+    speedup: float
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.baseline_max_error < 1e-9
+            and self.cnv_max_error < 1e-9
+            and self.baseline_cycles_match
+            and self.cnv_cycles_match
+        )
+
+
+@dataclass
+class ValidationReport:
+    """All per-layer outcomes of one validation run."""
+
+    network: str
+    layers: list[LayerValidation] = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(layer.passed for layer in self.layers)
+
+    def summary(self) -> str:
+        lines = [f"validation of {self.network}:"]
+        for lv in self.layers:
+            status = "ok" if lv.passed else "FAIL"
+            lines.append(
+                f"  {lv.layer:24s} {status}  max|err| base {lv.baseline_max_error:.2e} "
+                f"cnv {lv.cnv_max_error:.2e}  speedup {lv.speedup:.2f}x"
+            )
+        return "\n".join(lines)
+
+
+def _crop_layer(
+    activations: np.ndarray, geometry: dict, max_spatial: int
+) -> tuple[np.ndarray, dict]:
+    """Crop a layer spatially so the structural run stays tractable."""
+    geometry = dict(geometry)
+    kernel, stride, pad = geometry["kernel"], geometry["stride"], geometry["pad"]
+    in_y = min(geometry["in_y"], max(max_spatial, kernel))
+    in_x = min(geometry["in_x"], max(max_spatial, kernel))
+    geometry["in_y"], geometry["in_x"] = in_y, in_x
+    geometry["out_y"] = (in_y - kernel + 2 * pad) // stride + 1
+    geometry["out_x"] = (in_x - kernel + 2 * pad) // stride + 1
+    return activations[:, :in_y, :in_x], geometry
+
+
+def validate_network(
+    network: Network,
+    store: WeightStore,
+    image: np.ndarray,
+    config: ArchConfig | None = None,
+    max_spatial: int = 8,
+    max_filters: int = 8,
+    layers: list[str] | None = None,
+) -> ValidationReport:
+    """Validate the structural simulators on a network's real activations.
+
+    Parameters
+    ----------
+    network, store, image:
+        What to run; activations come from the inference engine.
+    config:
+        Node geometry for the structural runs (scaled-down by default).
+    max_spatial, max_filters:
+        Tractability crops applied to each layer (every datapath is still
+        exercised; see module docstring).
+    layers:
+        Restrict to these conv layers (default: all of them).
+    """
+    config = config if config is not None else small_config()
+    fwd = run_forward(network, store, image, collect_conv_inputs=True, keep_outputs=False)
+    first = network.first_conv_layers()
+    report = ValidationReport(network=network.name)
+    for layer in network.conv_layers:
+        if layers is not None and layer.name not in layers:
+            continue
+        geometry = network.conv_geometry(layer)
+        activations, geometry = _crop_layer(
+            fwd.conv_inputs[layer.name], geometry, max_spatial
+        )
+        weights = store.weights[layer.name]
+        n_filters = min(geometry["num_filters"], max_filters * layer.groups)
+        n_filters -= n_filters % layer.groups
+        per_group = n_filters // layer.groups
+        full_group = geometry["num_filters"] // layer.groups
+        keep = np.concatenate(
+            [
+                np.arange(g * full_group, g * full_group + per_group)
+                for g in range(layer.groups)
+            ]
+        )
+        geometry["num_filters"] = n_filters
+        weights = weights[keep]
+
+        work = ConvWork(
+            name=layer.name,
+            geometry=geometry,
+            activations=activations,
+            is_first=layer.name in first,
+        )
+        golden = conv2d(
+            activations,
+            weights,
+            stride=geometry["stride"],
+            pad=geometry["pad"],
+            groups=geometry["groups"],
+        )
+        base = DaDianNaoNode(config).run_conv_layer(work, weights)
+        cnv = CnvNode(config).run_conv_layer(work, weights)
+        report.layers.append(
+            LayerValidation(
+                layer=layer.name,
+                baseline_max_error=float(np.abs(base.output - golden).max()),
+                cnv_max_error=float(np.abs(cnv.output - golden).max()),
+                baseline_cycles_match=base.cycles
+                == baseline_conv_timing(work, config).cycles,
+                cnv_cycles_match=cnv.cycles == cnv_conv_timing(work, config).cycles,
+                speedup=base.cycles / cnv.cycles if cnv.cycles else float("inf"),
+            )
+        )
+    return report

@@ -1,0 +1,180 @@
+"""The Zero-Free Neuron Array format (ZFNAf), Section IV-B1.
+
+ZFNAf stores a neuron array as *bricks*: aligned groups of ``brick_size``
+(16 in the paper) neurons that are contiguous along the input-features
+dimension *i* and share the same (x, y) coordinates.  Within each brick
+only the non-zero neurons are stored, each as a ``(value, offset)`` pair
+where the offset is the neuron's original position within the brick
+(4 bits for 16-neuron bricks).  Bricks keep their conventional starting
+position and are zero padded, so:
+
+* the array remains directly indexable at brick granularity from the
+  coordinates of a brick's first neuron — which is what lets the CNV
+  dispatcher assign work to subunits independently and locate windows; and
+* there are **no memory footprint savings** — unlike CSR-style sparse
+  formats, ZFNAf trades footprint (a fixed +25% for the offset fields with
+  16-neuron bricks) for wide, aligned accesses (Section VI).
+
+The encoding turns "should this multiplication happen?" control-flow
+decisions into data, computed once at the output of the producing layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ZfnafArray", "encode", "decode", "encode_brick", "decode_brick"]
+
+DEFAULT_BRICK_SIZE = 16
+
+
+def encode_brick(neurons: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Encode one brick: keep non-zero values with their offsets.
+
+    ``(1, 0, 0, 3)`` encodes to values ``(1, 3)`` and offsets ``(0, 3)``
+    — the Section III-C example.
+    """
+    neurons = np.asarray(neurons)
+    nonzero = np.flatnonzero(neurons)
+    return neurons[nonzero], nonzero.astype(np.int64)
+
+
+def decode_brick(
+    values: np.ndarray, offsets: np.ndarray, brick_size: int
+) -> np.ndarray:
+    """Reconstruct the dense brick from its (value, offset) pairs."""
+    out = np.zeros(brick_size, dtype=np.asarray(values).dtype if len(values) else np.float64)
+    for value, offset in zip(values, offsets):
+        if not 0 <= offset < brick_size:
+            raise ValueError(f"offset {offset} out of range for brick {brick_size}")
+        out[int(offset)] = value
+    return out
+
+
+@dataclass
+class ZfnafArray:
+    """A neuron array encoded in ZFNAf.
+
+    Storage is dense per brick slot (the format reserves every slot, which
+    is exactly its footprint trade-off):
+
+    ``values[y, x, bz, k]``  : k-th non-zero value of brick (y, x, bz)
+    ``offsets[y, x, bz, k]`` : its offset within the brick
+    ``counts[y, x, bz]``     : number of non-zero neurons in the brick
+
+    ``bz`` indexes bricks along the feature dimension:
+    brick ``(y, x, bz)`` covers neurons ``n(z, y, x)`` for
+    ``z in [bz*brick_size, (bz+1)*brick_size)``.
+    """
+
+    values: np.ndarray
+    offsets: np.ndarray
+    counts: np.ndarray
+    brick_size: int
+    original_depth: int
+
+    def __post_init__(self) -> None:
+        if self.values.shape != self.offsets.shape:
+            raise ValueError("values/offsets shape mismatch")
+        if self.values.shape[:3] != self.counts.shape:
+            raise ValueError("counts shape mismatch")
+        if self.values.shape[3] != self.brick_size:
+            raise ValueError("slot dimension must equal brick_size")
+
+    # ------------------------------------------------------------------
+    @property
+    def spatial_shape(self) -> tuple[int, int]:
+        """(height, width) of the underlying neuron array."""
+        return self.values.shape[0], self.values.shape[1]
+
+    @property
+    def bricks_per_column(self) -> int:
+        """Number of bricks along the feature dimension (ceil(i/16))."""
+        return self.values.shape[2]
+
+    @property
+    def num_bricks(self) -> int:
+        return int(np.prod(self.counts.shape))
+
+    @property
+    def total_nonzero(self) -> int:
+        return int(self.counts.sum())
+
+    def brick(self, y: int, x: int, bz: int) -> tuple[np.ndarray, np.ndarray]:
+        """The (values, offsets) pairs of one brick — direct indexing, the
+        property CSR lacks that ZFNAf preserves (Section IV-B1)."""
+        count = int(self.counts[y, x, bz])
+        return self.values[y, x, bz, :count], self.offsets[y, x, bz, :count]
+
+    def storage_bits(self, data_bits: int = 16) -> int:
+        """Total storage including offset fields (the +25% NM overhead)."""
+        offset_bits = max(1, (self.brick_size - 1).bit_length())
+        slots = self.num_bricks * self.brick_size
+        return slots * (data_bits + offset_bits)
+
+    def dense_storage_bits(self, data_bits: int = 16) -> int:
+        """Storage of the equivalent conventional (padded) 3-D array."""
+        return self.num_bricks * self.brick_size * data_bits
+
+
+def encode(
+    activations: np.ndarray, brick_size: int = DEFAULT_BRICK_SIZE
+) -> ZfnafArray:
+    """Encode a dense ``(depth, y, x)`` neuron array into ZFNAf.
+
+    The feature dimension is zero-padded to a multiple of ``brick_size``
+    (matching how fetch blocks pad shallow inputs).  Encoding is
+    vectorized; the serial, cycle-counted hardware encoder lives in
+    :mod:`repro.core.encoder` and is validated against this function.
+    """
+    if activations.ndim != 3:
+        raise ValueError("activations must be (depth, y, x)")
+    depth, height, width = activations.shape
+    num_bz = -(-depth // brick_size)
+    padded_depth = num_bz * brick_size
+    padded = np.zeros((padded_depth, height, width), dtype=np.float64)
+    padded[:depth] = activations
+
+    # (padded_depth, y, x) -> (y, x, bz, slot)
+    bricks = padded.reshape(num_bz, brick_size, height, width).transpose(2, 3, 0, 1)
+    mask = bricks != 0.0
+    counts = mask.sum(axis=3).astype(np.int16)
+
+    # Stable argsort puts non-zero slots first while preserving their order,
+    # producing exactly the packed layout the serial encoder emits.
+    order = np.argsort(~mask, axis=3, kind="stable")
+    values = np.take_along_axis(bricks, order, axis=3)
+    offsets = order.astype(np.int8)
+
+    # Zero out the tails so padding slots hold (0, 0) pairs.
+    slot_index = np.arange(brick_size).reshape(1, 1, 1, brick_size)
+    tail = slot_index >= counts[..., None]
+    values = np.where(tail, 0.0, values)
+    offsets = np.where(tail, 0, offsets)
+
+    return ZfnafArray(
+        values=values,
+        offsets=offsets,
+        counts=counts,
+        brick_size=brick_size,
+        original_depth=depth,
+    )
+
+
+def decode(zfnaf: ZfnafArray) -> np.ndarray:
+    """Reconstruct the dense ``(depth, y, x)`` array from ZFNAf."""
+    height, width = zfnaf.spatial_shape
+    num_bz = zfnaf.bricks_per_column
+    brick = zfnaf.brick_size
+    dense = np.zeros((height, width, num_bz, brick), dtype=np.float64)
+    slot_index = np.arange(brick).reshape(1, 1, 1, brick)
+    valid = slot_index < zfnaf.counts[..., None]
+    ys, xs, bzs, ks = np.nonzero(valid)
+    # Offsets are unique within a brick, so this scatter has no collisions.
+    dense[ys, xs, bzs, zfnaf.offsets[ys, xs, bzs, ks].astype(np.int64)] = zfnaf.values[
+        ys, xs, bzs, ks
+    ]
+    out = dense.transpose(2, 3, 0, 1).reshape(num_bz * brick, height, width)
+    return out[: zfnaf.original_depth]

@@ -1,0 +1,20 @@
+"""One module per paper table/figure, plus the shared context and runner.
+
+=========  ==========================================================
+fig1       zero-valued conv-input neuron fractions (Section II)
+table1     networks used
+fig9       CNV speedup over DaDianNao (+ lossless pruning)
+fig10      execution-activity breakdown
+fig11      area breakdown (+4.49% overhead)
+fig12      energy/power breakdown
+fig13      EDP / ED2P improvements
+table2     lossless per-layer pruning thresholds
+fig14      accuracy vs speedup pruning trade-off
+=========  ==========================================================
+"""
+
+from repro.experiments.config import PaperConfig
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import ExperimentResult, format_table
+
+__all__ = ["PaperConfig", "ExperimentContext", "ExperimentResult", "format_table"]

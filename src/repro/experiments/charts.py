@@ -1,0 +1,194 @@
+"""ASCII chart rendering for the regenerated figures.
+
+The paper's results are figures, not tables; ``cnvlutin-experiments
+--charts`` renders each regenerated figure as a terminal chart: horizontal
+bars for Fig. 1/9/13, stacked activity/energy bars for Fig. 10/12, and a
+scatter for the Fig. 14 trade-off.  Pure text, no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult
+
+__all__ = ["bar_chart", "stacked_bar_chart", "scatter_chart", "render"]
+
+_BLOCKS = "█"
+_STACK_GLYPHS = {
+    "other": "░",
+    "conv1": "▒",
+    "nonzero": "█",
+    "zero": "·",
+    "stall": "x",
+    "nm": "█",
+    "sb": "▓",
+    "logic": "▒",
+    "sram": "░",
+}
+
+
+def bar_chart(
+    items: list[tuple[str, float]],
+    width: int = 48,
+    reference: float | None = None,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Horizontal bar chart; an optional reference value draws a marker."""
+    if not items:
+        return "(no data)"
+    peak = max(value for _, value in items)
+    scale_max = max(peak, reference or 0.0) or 1.0
+    label_width = max(len(label) for label, _ in items)
+    lines = []
+    for label, value in items:
+        bar_len = int(round(width * value / scale_max))
+        bar = _BLOCKS * bar_len
+        if reference is not None:
+            ref_pos = int(round(width * reference / scale_max))
+            if ref_pos >= len(bar):
+                bar = bar.ljust(ref_pos) + "|"
+        lines.append(
+            f"{label.ljust(label_width)}  {bar} {value_format.format(value)}"
+        )
+    if reference is not None:
+        lines.append(f"{' ' * label_width}  ('|' marks {value_format.format(reference)})")
+    return "\n".join(lines)
+
+
+def stacked_bar_chart(
+    rows: list[tuple[str, dict[str, float]]],
+    series: list[str],
+    width: int = 60,
+) -> str:
+    """Stacked horizontal bars, one row per (label, {series: value})."""
+    if not rows:
+        return "(no data)"
+    total_max = max(sum(values.get(s, 0.0) for s in series) for _, values in rows)
+    total_max = total_max or 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, values in rows:
+        bar = ""
+        for s in series:
+            seg = int(round(width * values.get(s, 0.0) / total_max))
+            bar += _STACK_GLYPHS.get(s, "#") * seg
+        total = sum(values.get(s, 0.0) for s in series)
+        lines.append(f"{label.ljust(label_width)}  {bar} {total:.2f}")
+    legend = "  ".join(f"{_STACK_GLYPHS.get(s, '#')}={s}" for s in series)
+    lines.append(f"{' ' * label_width}  [{legend}]")
+    return "\n".join(lines)
+
+
+def scatter_chart(
+    points: list[tuple[float, float, str]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Scatter plot; each point's label's first character is its glyph."""
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, label in points:
+        col = int((x - x_min) / x_span * (width - 1))
+        row = int((y - y_min) / y_span * (height - 1))
+        grid[height - 1 - row][col] = (label or "*")[0]
+    lines = [f"{y_label}: {y_min:.2f} .. {y_max:.2f}"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:.2f} .. {x_max:.2f}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# per-experiment dispatch
+# ----------------------------------------------------------------------
+
+
+def _render_fig1(result: ExperimentResult) -> str:
+    items = [(r["network"], r["zero_fraction"]) for r in result.rows]
+    return bar_chart(items, reference=0.44, value_format="{:.0%}")
+
+
+def _render_fig9(result: ExperimentResult) -> str:
+    items = [(r["network"], r["CNV"]) for r in result.rows]
+    chart = bar_chart(items, reference=1.37)
+    if "CNV+Pruning" in result.rows[0]:
+        pruned = [(r["network"], r["CNV+Pruning"]) for r in result.rows]
+        chart += "\n\nwith lossless pruning:\n" + bar_chart(pruned, reference=1.52)
+    return chart
+
+
+def _render_fig10(result: ExperimentResult) -> str:
+    series = ["other", "conv1", "nonzero", "zero", "stall"]
+    rows = [
+        (f"{r['network']}/{r['arch'][:4]}", {s: r[s] for s in series})
+        for r in result.rows
+    ]
+    return stacked_bar_chart(rows, series)
+
+
+def _render_fig11(result: ExperimentResult) -> str:
+    items = [
+        (r["component"], r["cnv_mm2"] / r["baseline_mm2"] - 1.0)
+        for r in result.rows
+        if r["component"] != "total"
+    ]
+    return bar_chart(items, value_format="{:+.1%}")
+
+
+def _render_fig12(result: ExperimentResult) -> str:
+    rows = []
+    for arch in ("baseline", "cnv"):
+        values = {
+            r["component"]: r[f"{arch}_static"] + r[f"{arch}_dynamic"]
+            for r in result.rows
+            if r["component"] != "total"
+        }
+        rows.append((arch, values))
+    return stacked_bar_chart(rows, ["nm", "sb", "logic", "sram"])
+
+
+def _render_fig13(result: ExperimentResult) -> str:
+    edp = [(r["network"], r["EDP_gain"]) for r in result.rows]
+    ed2p = [(r["network"], r["ED2P_gain"]) for r in result.rows]
+    return (
+        "EDP improvement:\n"
+        + bar_chart(edp, reference=1.47)
+        + "\n\nED2P improvement:\n"
+        + bar_chart(ed2p, reference=2.01)
+    )
+
+
+def _render_fig14(result: ExperimentResult) -> str:
+    points = [
+        (r["speedup"], r["relative_accuracy"], r["network"]) for r in result.rows
+    ]
+    return scatter_chart(
+        points, x_label="speedup", y_label="relative accuracy"
+    )
+
+
+_RENDERERS = {
+    "fig1": _render_fig1,
+    "fig9": _render_fig9,
+    "fig10": _render_fig10,
+    "fig11": _render_fig11,
+    "fig12": _render_fig12,
+    "fig13": _render_fig13,
+    "fig14": _render_fig14,
+}
+
+
+def render(result: ExperimentResult) -> str | None:
+    """Chart for one experiment result, or None for table-only results."""
+    renderer = _RENDERERS.get(result.experiment)
+    if renderer is None:
+        return None
+    return renderer(result)

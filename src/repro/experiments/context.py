@@ -1,0 +1,234 @@
+"""Shared experiment state: calibrated networks, forwards, timings.
+
+Building a paper figure needs the same expensive artifacts over and over —
+a calibrated network, forward passes, baseline/CNV timings.  The
+:class:`ExperimentContext` builds each once and caches it (calibration
+shifts and timing summaries also persist to the on-disk JSON cache so
+benchmark processes don't recalibrate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baseline.timing import baseline_network_timing
+from repro.core.timing import cnv_network_timing
+from repro.experiments.config import PaperConfig
+from repro.hw.config import PAPER_CONFIG, ArchConfig
+from repro.nn.calibration import (
+    PAPER_ZERO_FRACTIONS,
+    SparsityReport,
+    calibrate_network,
+    measure_zero_fractions,
+)
+from repro.nn.datasets import natural_images
+from repro.nn.inference import ForwardResult, WeightStore, init_weights, run_forward
+from repro.nn.models import build_network
+from repro.nn.network import Network
+
+__all__ = ["NetworkContext", "ExperimentContext", "thresholds_key"]
+
+
+def thresholds_key(thresholds: dict[str, float] | None) -> tuple:
+    """Hashable cache key for a threshold configuration."""
+    if not thresholds:
+        return ()
+    return tuple(sorted((k, float(v)) for k, v in thresholds.items() if v))
+
+
+@dataclass
+class NetworkContext:
+    """One calibrated network with its input images."""
+
+    name: str
+    network: Network
+    store: WeightStore
+    images: list[np.ndarray]
+
+
+class ExperimentContext:
+    """Lazily builds and caches everything the experiment modules share."""
+
+    def __init__(self, config: PaperConfig | None = None, arch: ArchConfig = PAPER_CONFIG):
+        self.config = config if config is not None else PaperConfig()
+        self.arch = arch
+        self._networks: dict[str, NetworkContext] = {}
+        self._forwards: dict[tuple, ForwardResult] = {}
+        self._baseline_timings: dict[str, object] = {}
+        self._cnv_timings: dict[tuple, object] = {}
+        self._sparsity: dict[str, SparsityReport] = {}
+
+    # ------------------------------------------------------------------
+    # network construction and calibration
+    # ------------------------------------------------------------------
+    def network_ctx(self, name: str) -> NetworkContext:
+        if name in self._networks:
+            return self._networks[name]
+        network = build_network(name, input_size=self.config.input_size(name))
+        rng = np.random.default_rng(self.config.seed)
+        store = init_weights(network, rng)
+        images = natural_images(
+            network.input_shape, self.config.num_images, seed=self.config.seed + 1
+        )
+
+        # Single precision halves the cost of the (single-core) forward
+        # sweeps; zero-pattern statistics and timing are unaffected.
+        store.weights = {k: v.astype(np.float32) for k, v in store.weights.items()}
+        store.biases = {k: v.astype(np.float32) for k, v in store.biases.items()}
+        images = [img.astype(np.float32) for img in images]
+
+        cached = self.config.cache_load("calib", name)
+        if cached is not None:
+            store.shifts = {
+                k: np.asarray(v) if isinstance(v, list) else float(v)
+                for k, v in cached.items()
+            }
+        else:
+            calibrate_network(
+                network,
+                store,
+                images[: min(3, len(images))],
+                mean_target=PAPER_ZERO_FRACTIONS.get(name, 0.44),
+            )
+            self.config.cache_store(
+                "calib",
+                name,
+                {
+                    k: (v.tolist() if isinstance(v, np.ndarray) else v)
+                    for k, v in store.shifts.items()
+                },
+            )
+
+        ctx = NetworkContext(name=name, network=network, store=store, images=images)
+        self._networks[name] = ctx
+        return ctx
+
+    # ------------------------------------------------------------------
+    # forwards and timings
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        name: str,
+        image_index: int = 0,
+        thresholds: dict[str, float] | None = None,
+    ) -> ForwardResult:
+        key = (name, image_index, thresholds_key(thresholds))
+        if key in self._forwards:
+            return self._forwards[key]
+        ctx = self.network_ctx(name)
+        result = run_forward(
+            ctx.network,
+            ctx.store,
+            ctx.images[image_index],
+            thresholds=thresholds,
+            collect_conv_inputs=True,
+            keep_outputs=False,
+        )
+        # Only cache the unpruned forward — threshold sweeps would pile up.
+        if not thresholds:
+            self._forwards[key] = result
+        return result
+
+    def baseline_timing(self, name: str):
+        """Baseline NetworkTiming (value-independent; computed once)."""
+        if name not in self._baseline_timings:
+            ctx = self.network_ctx(name)
+            fwd = self.forward(name, 0)
+            self._baseline_timings[name] = baseline_network_timing(
+                ctx.network, fwd.conv_inputs, self.arch
+            )
+        return self._baseline_timings[name]
+
+    def cnv_timing(
+        self,
+        name: str,
+        thresholds: dict[str, float] | None = None,
+        image_index: int = 0,
+    ):
+        """CNV NetworkTiming for one image under optional pruning thresholds."""
+        key = (name, thresholds_key(thresholds), image_index)
+        if key in self._cnv_timings:
+            return self._cnv_timings[key]
+        ctx = self.network_ctx(name)
+        fwd = self.forward(name, image_index, thresholds=thresholds)
+        timing = cnv_network_timing(ctx.network, fwd.conv_inputs, self.arch)
+        self._cnv_timings[key] = timing
+        return timing
+
+    def speedup(
+        self,
+        name: str,
+        thresholds: dict[str, float] | None = None,
+        image_index: int = 0,
+    ) -> float:
+        """Baseline-over-CNV cycle ratio (the Fig. 9 quantity)."""
+        base = self.baseline_timing(name).total_cycles
+        cnv = self.cnv_timing(name, thresholds, image_index).total_cycles
+        return base / cnv
+
+    def speedups_across_images(self, name: str) -> list[float]:
+        """Per-image CNV speedups (baseline cycles are value-independent).
+
+        CNV cycles depend on the zero pattern, which Fig. 1 shows is
+        input-stable; the spread here quantifies that for the speedups.
+        """
+        return [
+            self.speedup(name, image_index=idx)
+            for idx in range(self.config.num_images)
+        ]
+
+    # ------------------------------------------------------------------
+    # sparsity and pruning support
+    # ------------------------------------------------------------------
+    def sparsity(self, name: str) -> SparsityReport:
+        """Fig. 1 statistics over all configured images."""
+        if name not in self._sparsity:
+            ctx = self.network_ctx(name)
+            self._sparsity[name] = measure_zero_fractions(
+                ctx.network, ctx.store, ctx.images
+            )
+        return self._sparsity[name]
+
+    def logits(
+        self,
+        name: str,
+        image_index: int = 0,
+        thresholds: dict[str, float] | None = None,
+    ) -> np.ndarray:
+        result = self.forward(name, image_index, thresholds=thresholds)
+        if result.logits is None:
+            raise ValueError(f"network {name} produced no logits")
+        return result.logits
+
+    def prediction_stability(
+        self, name: str, thresholds: dict[str, float] | None
+    ) -> float:
+        """Fraction of images whose top-1 prediction survives pruning.
+
+        The calibrated networks have no trained accuracy, so top-1
+        agreement with the unpruned network stands in for 'relative
+        accuracy' (DESIGN.md substitution); the trained small CNN provides
+        the genuine accuracy signal.
+        """
+        agree = 0
+        total = self.config.num_images
+        for idx in range(total):
+            clean = int(np.argmax(self.logits(name, idx)))
+            pruned = int(np.argmax(self.logits(name, idx, thresholds=thresholds)))
+            agree += clean == pruned
+        return agree / total
+
+    def activation_magnitudes(self, name: str) -> dict[str, np.ndarray]:
+        """Per-conv-layer |non-zero| input magnitudes of the unpruned run.
+
+        Used to place per-layer thresholds at a chosen percentile of each
+        layer's live activations (the single-knob Table II calibration).
+        """
+        fwd = self.forward(name, 0)
+        out: dict[str, np.ndarray] = {}
+        for layer, arr in fwd.conv_inputs.items():
+            live = np.abs(arr[arr != 0.0])
+            out[layer] = live
+        return out

@@ -1,0 +1,50 @@
+"""Fig. 11 — area breakdown of the baseline and CNV.
+
+Paper: SB dominates both architectures; CNV's NM grows 34% (offsets +
+banking), SRAM grows 15.8% (offset buffers), unit logic is negligible, and
+the total overhead is 4.49%.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import ExperimentResult
+from repro.power.area import area_breakdown, cnv_area_overhead
+from repro.power.components import BASELINE, CNV, COMPONENTS
+
+__all__ = ["run"]
+
+PAPER_DELTAS = {"nm": 0.34, "sram": 0.158, "logic": 0.02, "sb": 0.0}
+
+
+def run(ctx: ExperimentContext | None = None) -> ExperimentResult:
+    base = area_breakdown(BASELINE)
+    cnv = area_breakdown(CNV)
+    rows = []
+    for component in COMPONENTS:
+        rows.append(
+            {
+                "component": component,
+                "baseline_mm2": base.by_component[component],
+                "cnv_mm2": cnv.by_component[component],
+                "delta": cnv.by_component[component] / base.by_component[component]
+                - 1.0,
+                "paper_delta": PAPER_DELTAS[component],
+            }
+        )
+    rows.append(
+        {
+            "component": "total",
+            "baseline_mm2": base.total,
+            "cnv_mm2": cnv.total,
+            "delta": cnv_area_overhead(),
+            "paper_delta": 0.0449,
+        }
+    )
+    return ExperimentResult(
+        experiment="fig11",
+        title="Area breakdown",
+        rows=rows,
+        notes="per-component areas are calibrated to the paper's published "
+        "ratios (no synthesis flow available); see DESIGN.md.",
+    )

@@ -1,0 +1,97 @@
+"""Fig. 1 — average fraction of zero-valued conv-layer multiplication
+operands per network, plus the Section II in-text position statistics.
+
+Paper: 37% (nin) to 50% (cnnS), 44% mean, with tiny error bars across
+inputs; no neuron position is zero across all inputs, and only 0.6% are
+zero with >= 99% probability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import ExperimentResult
+from repro.nn.calibration import PAPER_ZERO_FRACTIONS
+from repro.nn.inference import run_forward
+
+__all__ = ["run", "position_stats"]
+
+
+def position_stats(ctx: ExperimentContext, name: str) -> dict[str, float]:
+    """Per-position zero statistics across the sampled inputs.
+
+    Returns the fraction of conv-input neuron positions that are zero on
+    *every* sampled image and the fraction zero on at least all-but-one —
+    the Section II argument that static elimination cannot work.
+    """
+    nctx = ctx.network_ctx(name)
+    zero_counts: dict[str, np.ndarray] = {}
+    total_images = len(nctx.images)
+    if total_images < 2:
+        # "Always zero across inputs" is vacuous with a single input.
+        return {"always_zero": float("nan"), "near_always_zero": float("nan")}
+    for image in nctx.images:
+        result = run_forward(
+            nctx.network, nctx.store, image, collect_conv_inputs=True, keep_outputs=False
+        )
+        for layer, arr in result.conv_inputs.items():
+            mask = (arr == 0.0).astype(np.int32)
+            if layer in zero_counts:
+                zero_counts[layer] += mask
+            else:
+                zero_counts[layer] = mask
+    always = 0
+    near_always = 0
+    positions = 0
+    for layer, counts in zero_counts.items():
+        if layer in nctx.network.first_conv_layers():
+            continue  # image pixels, as in the paper's neuron statistics
+        positions += counts.size
+        always += int((counts == total_images).sum())
+        near_always += int((counts >= max(total_images - 1, 1)).sum())
+    if positions == 0:
+        return {"always_zero": 0.0, "near_always_zero": 0.0}
+    return {
+        "always_zero": always / positions,
+        "near_always_zero": near_always / positions,
+    }
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    """Regenerate Fig. 1's per-network bars (+ error bars)."""
+    rows = []
+    for name in ctx.config.networks:
+        report = ctx.sparsity(name)
+        rows.append(
+            {
+                "network": name,
+                "zero_fraction": report.mac_weighted_mean,
+                "std_across_images": report.std_across_images,
+                "paper": PAPER_ZERO_FRACTIONS.get(name, float("nan")),
+            }
+        )
+    mean = float(np.mean([r["zero_fraction"] for r in rows]))
+    rows.append(
+        {
+            "network": "average",
+            "zero_fraction": mean,
+            "std_across_images": float("nan"),
+            "paper": 0.44,
+        }
+    )
+    stats = position_stats(ctx, ctx.config.networks[0])
+    return ExperimentResult(
+        experiment="fig1",
+        title="Fraction of zero-valued conv-layer input neurons",
+        rows=rows,
+        notes=(
+            f"position stats ({ctx.config.networks[0]}): "
+            f"always-zero {stats['always_zero']:.4f} (paper: 0), "
+            f"zero on >=all-but-one inputs {stats['near_always_zero']:.4f} "
+            f"(paper: 0.006 at 99% prob.). The random-weight substitution "
+            "trades positional zero diversity for the paper's clustering "
+            "structure (see calibrate_network(per_channel=...))."
+        ),
+        extra={"position_stats": stats},
+    )

@@ -1,0 +1,82 @@
+"""Experiment result containers and table formatting."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentResult", "format_table", "geometric_mean"]
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean (speedup-style ratios aggregate geometrically)."""
+    if not values:
+        raise ValueError("empty values")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Render rows of dicts as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    table = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in table))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in table
+    )
+    return f"{header}\n{rule}\n{body}"
+
+
+@dataclass
+class ExperimentResult:
+    """The regenerated rows of one paper table/figure."""
+
+    experiment: str  # e.g. "fig9"
+    title: str
+    rows: list[dict]
+    notes: str = ""
+    columns: list[str] | None = None
+    extra: dict = field(default_factory=dict)
+
+    def to_table(self) -> str:
+        parts = [f"== {self.experiment}: {self.title} =="]
+        parts.append(format_table(self.rows, self.columns))
+        if self.notes:
+            parts.append(f"note: {self.notes}")
+        return "\n".join(parts)
+
+    def to_json(self) -> str:
+        """Machine-readable form (rows + metadata) for downstream tooling."""
+
+        def clean(value):
+            if isinstance(value, float):
+                return value if value == value else None  # NaN -> null
+            return value
+
+        payload = {
+            "experiment": self.experiment,
+            "title": self.title,
+            "notes": self.notes,
+            "rows": [
+                {key: clean(value) for key, value in row.items()}
+                for row in self.rows
+            ],
+        }
+        return json.dumps(payload, indent=2)

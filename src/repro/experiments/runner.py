@@ -1,0 +1,122 @@
+"""Run every paper experiment and print (or save) the regenerated tables.
+
+Command line::
+
+    cnvlutin-experiments --scale reduced
+    cnvlutin-experiments --scale full --only fig9,fig13 --output results.md
+
+Each experiment prints the same rows/series the paper's table or figure
+reports, alongside the paper's published values where the text quotes them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    fig1_zero_fraction,
+    fig9_speedup,
+    fig10_breakdown,
+    fig11_area,
+    fig12_power,
+    fig13_edp,
+    fig14_pruning,
+    table1_networks,
+    table2_thresholds,
+)
+from repro.experiments.config import SCALES, PaperConfig
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_all", "main"]
+
+#: Experiment registry, in paper order.
+EXPERIMENTS = {
+    "fig1": fig1_zero_fraction.run,
+    "table1": table1_networks.run,
+    "fig9": fig9_speedup.run,
+    "fig10": fig10_breakdown.run,
+    "fig11": fig11_area.run,
+    "fig12": fig12_power.run,
+    "fig13": fig13_edp.run,
+    "table2": table2_thresholds.run,
+    "fig14": fig14_pruning.run,
+}
+
+
+def run_all(
+    config: PaperConfig | None = None,
+    only: list[str] | None = None,
+    verbose: bool = True,
+    charts: bool = False,
+) -> list[ExperimentResult]:
+    """Run the selected experiments sharing one context; returns results."""
+    from repro.experiments import charts as chart_mod
+
+    ctx = ExperimentContext(config)
+    names = only if only is not None else list(EXPERIMENTS)
+    results = []
+    for name in names:
+        if name not in EXPERIMENTS:
+            raise KeyError(f"unknown experiment {name!r}; choose from {list(EXPERIMENTS)}")
+        start = time.time()
+        result = EXPERIMENTS[name](ctx)
+        results.append(result)
+        if verbose:
+            print(result.to_table())
+            if charts:
+                rendered = chart_mod.render(result)
+                if rendered:
+                    print()
+                    print(rendered)
+            print(f"[{name} took {time.time() - start:.1f}s]\n")
+    if verbose:
+        from repro.experiments.summary import headline_summary
+
+        summary = headline_summary(results)
+        if summary:
+            print(summary)
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=SCALES, default="reduced")
+    parser.add_argument(
+        "--only",
+        default=None,
+        help=f"comma-separated experiment ids ({','.join(EXPERIMENTS)})",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--networks", default=None, help="comma-separated subset")
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--charts", action="store_true", help="render ASCII figures")
+    parser.add_argument("--output", default=None, help="also write tables to a file")
+    parser.add_argument("--json", default=None, help="write results as JSON")
+    args = parser.parse_args(argv)
+
+    kwargs = {"scale": args.scale, "seed": args.seed, "use_cache": not args.no_cache}
+    if args.networks:
+        kwargs["networks"] = args.networks.split(",")
+    config = PaperConfig(**kwargs)
+    only = args.only.split(",") if args.only else None
+    results = run_all(config, only=only, charts=args.charts)
+    if args.output:
+        with open(args.output, "w") as handle:
+            for result in results:
+                handle.write(result.to_table())
+                handle.write("\n\n")
+        print(f"wrote {args.output}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(
+                "[\n" + ",\n".join(result.to_json() for result in results) + "\n]\n"
+            )
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Headline summary: the paper's claims against this run's measurements.
+
+Collects the handful of numbers the paper's abstract leads with from a set
+of experiment results and prints them side by side with a pass/deviation
+verdict per claim.  Shape criteria follow the reproduction goal in
+EXPERIMENTS.md: direction and rough magnitude, not absolute matching.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult, format_table
+
+__all__ = ["headline_summary"]
+
+
+def _find(results: list[ExperimentResult], experiment: str) -> ExperimentResult | None:
+    for result in results:
+        if result.experiment == experiment:
+            return result
+    return None
+
+
+def _row(results, experiment, key, row_match):
+    result = _find(results, experiment)
+    if result is None:
+        return None
+    for row in result.rows:
+        if all(row.get(k) == v for k, v in row_match.items()):
+            return row.get(key)
+    return None
+
+
+def headline_summary(results: list[ExperimentResult]) -> str:
+    """The abstract's claims vs this run, as a table (empty string if the
+    needed experiments were not part of the run)."""
+    claims = []
+
+    zero = _row(results, "fig1", "zero_fraction", {"network": "average"})
+    if zero is not None:
+        claims.append(("mean zero-neuron fraction", 0.44, zero, abs(zero - 0.44) < 0.05))
+
+    speedup = _row(results, "fig9", "CNV", {"network": "average"})
+    if speedup is not None:
+        claims.append(("mean CNV speedup", 1.37, speedup, 1.2 < speedup < 1.6))
+
+    pruned = _row(results, "fig9", "CNV+Pruning", {"network": "average"})
+    if pruned is not None and speedup is not None:
+        claims.append(
+            ("mean speedup with lossless pruning", 1.52, pruned, pruned > speedup)
+        )
+
+    area = _row(results, "fig11", "delta", {"component": "total"})
+    if area is not None:
+        claims.append(("CNV area overhead", 0.0449, area, abs(area - 0.0449) < 0.005))
+
+    edp = _row(results, "fig13", "EDP_gain", {"network": "average"})
+    if edp is not None:
+        claims.append(("mean EDP improvement", 1.47, edp, 1.2 < edp < 1.8))
+
+    ed2p = _row(results, "fig13", "ED2P_gain", {"network": "average"})
+    if ed2p is not None:
+        claims.append(("mean ED2P improvement", 2.01, ed2p, 1.6 < ed2p < 2.6))
+
+    if not claims:
+        return ""
+    rows = [
+        {
+            "claim": name,
+            "paper": paper,
+            "measured": measured,
+            "shape": "ok" if ok else "DEVIATES",
+        }
+        for name, paper, measured, ok in claims
+    ]
+    return "== headline: paper claims vs this run ==\n" + format_table(rows)

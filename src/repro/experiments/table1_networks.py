@@ -1,0 +1,38 @@
+"""Table I — the evaluated networks and their conv-layer counts."""
+
+from __future__ import annotations
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import ExperimentResult
+from repro.nn.models import TABLE1_SOURCES
+
+__all__ = ["run", "PAPER_CONV_LAYERS"]
+
+#: Conv-layer counts from the paper's Table I.
+PAPER_CONV_LAYERS = {
+    "alex": 5,
+    "google": 59,
+    "nin": 12,
+    "vgg19": 16,
+    "cnnM": 5,
+    "cnnS": 5,
+}
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    rows = []
+    for name in ctx.config.networks:
+        network = ctx.network_ctx(name).network
+        rows.append(
+            {
+                "network": name,
+                "conv_layers": network.num_conv_layers,
+                "paper": PAPER_CONV_LAYERS.get(name, "-"),
+                "source": TABLE1_SOURCES.get(name, "custom"),
+            }
+        )
+    return ExperimentResult(
+        experiment="table1",
+        title="Networks used",
+        rows=rows,
+    )

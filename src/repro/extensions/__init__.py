@@ -1,0 +1,26 @@
+"""Beyond-the-paper extensions the conclusion calls for.
+
+Section VII: "The CNV design serves as motivation for additional
+exploration such as combining CNV with approaches that exploit other value
+properties of DNNs, such as the variable precision requirements of DNNs
+[Stripes]."  This package explores that direction:
+:mod:`repro.extensions.precision` finds per-layer minimal activation
+precisions (Judd et al.'s methodology, reusing the same
+prediction-stability criterion as the pruning search) and models the
+combined benefit of zero skipping with bit-serial variable-precision
+compute.
+"""
+
+from repro.extensions.precision import (
+    PrecisionProfile,
+    combined_cnv_precision_timing,
+    minimal_precisions,
+    precision_speedup_factor,
+)
+
+__all__ = [
+    "PrecisionProfile",
+    "combined_cnv_precision_timing",
+    "minimal_precisions",
+    "precision_speedup_factor",
+]

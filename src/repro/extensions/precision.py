@@ -1,0 +1,167 @@
+"""Variable per-layer activation precision (the paper's future work).
+
+Two pieces, both beyond the paper but directly in its stated direction:
+
+* :func:`minimal_precisions` — per-layer minimal fractional bit-widths
+  found exactly as Judd et al. [31] (the method the paper's own threshold
+  exploration imitates): reduce one layer's activation precision while the
+  network's predictions remain unchanged on the sample inputs.
+* :func:`combined_cnv_precision_timing` — a first-order model of a CNV
+  front-end whose multipliers consume activations *bit-serially* (as in
+  Stripes [46]): each surviving non-zero neuron occupies its lane for
+  ``ceil(bits_layer)`` bit-cycles instead of a fixed 16, so zero skipping
+  and precision scaling multiply.  Dense baseline lanes gain nothing from
+  sparsity but do gain from precision; the interesting result is that the
+  two effects are nearly orthogonal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baseline.workload import ConvWork
+from repro.core.timing import cnv_conv_timing
+from repro.hw.config import ArchConfig
+from repro.hw.timing_types import LayerTiming, NetworkTiming
+from repro.nn.inference import WeightStore, run_forward
+from repro.nn.network import Network
+from repro.nn.tensor import FixedPointFormat
+
+__all__ = [
+    "PrecisionProfile",
+    "minimal_precisions",
+    "precision_speedup_factor",
+    "combined_cnv_precision_timing",
+]
+
+#: Candidate total bit-widths explored per layer, descending.
+DEFAULT_WIDTHS = (16, 12, 10, 8, 6, 5, 4, 3, 2)
+
+
+@dataclass
+class PrecisionProfile:
+    """Per-layer activation bit-widths with their validation outcome."""
+
+    bits: dict[str, int]
+    stable: bool
+
+    @property
+    def mean_bits(self) -> float:
+        return float(np.mean(list(self.bits.values()))) if self.bits else 16.0
+
+
+def _format_for(bits: int) -> FixedPointFormat:
+    """A ``bits``-wide activation format keeping a [-8, 8) dynamic range.
+
+    Activations in this repo are calibrated to O(1) magnitudes, so 4
+    integer bits suffice; the rest go to the fraction.
+    """
+    frac = max(0, bits - 4)
+    return FixedPointFormat(total_bits=max(bits, 2), frac_bits=frac)
+
+
+def _predictions(
+    network: Network,
+    store: WeightStore,
+    images: list[np.ndarray],
+    bits: dict[str, int],
+) -> list[int]:
+    formats = {
+        name: _format_for(width) for name, width in bits.items() if width < 16
+    }
+    preds = []
+    for image in images:
+        result = run_forward(
+            network,
+            store,
+            image,
+            formats=formats or None,
+            collect_conv_inputs=False,
+            keep_outputs=False,
+        )
+        preds.append(int(np.argmax(result.logits)))
+    return preds
+
+
+def minimal_precisions(
+    network: Network,
+    store: WeightStore,
+    images: list[np.ndarray],
+    widths: tuple[int, ...] = DEFAULT_WIDTHS,
+) -> PrecisionProfile:
+    """Greedy per-layer minimal activation precision (Judd et al. style).
+
+    Layer by layer (in execution order), lower the layer's output
+    precision to the smallest candidate width that keeps every sample
+    image's top-1 prediction identical to the full-precision run, holding
+    the already-chosen widths of earlier layers fixed.
+    """
+    reference = _predictions(network, store, images, {})
+    bits = {layer.name: 16 for layer in network.conv_layers if layer.fused_relu}
+    for layer_name in list(bits):
+        chosen = 16
+        for width in sorted(set(widths)):
+            trial = dict(bits)
+            trial[layer_name] = width
+            if _predictions(network, store, images, trial) == reference:
+                chosen = width
+                break  # widths ascend: first stable width is minimal
+        bits[layer_name] = chosen
+    stable = _predictions(network, store, images, bits) == reference
+    return PrecisionProfile(bits=bits, stable=stable)
+
+
+def precision_speedup_factor(bits: dict[str, int], full_bits: int = 16) -> float:
+    """Ideal bit-serial speedup from a precision profile (uniform layers)."""
+    if not bits:
+        return 1.0
+    return full_bits / float(np.mean(list(bits.values())))
+
+
+def combined_cnv_precision_timing(
+    network: Network,
+    conv_inputs: dict[str, np.ndarray],
+    config: ArchConfig,
+    bits: dict[str, int],
+) -> NetworkTiming:
+    """CNV timing with bit-serial lanes at per-layer precisions.
+
+    Each conv layer's CNV cycle count scales by ``bits/16`` — a non-zero
+    neuron occupies its (bit-serial) lane for ``bits`` bit-cycles; a
+    16-way serial-lane bundle restores the baseline's per-cycle throughput
+    at 16 bits, so full precision reduces exactly to plain CNV.  The
+    producing layer's precision governs each conv layer's *input* stream.
+    Non-conv layers are unchanged.
+    """
+    from repro.baseline.other_layers import other_layers_timing
+    from repro.baseline.timing import conv_works_from_inputs
+    from repro.nn.calibration import _controlling_relus, _relu_layers
+
+    relu_layers = _relu_layers(network)
+    layers: list[LayerTiming] = []
+    for work in conv_works_from_inputs(network, conv_inputs):
+        timing = cnv_conv_timing(work, config)
+        # The precision of a conv layer's input stream is set where its
+        # zeros are set: at the controlling ReLU layer(s) upstream (pooling
+        # and LRN pass the stored precision through).  With several
+        # controllers (inception concat) the widest governs.
+        controllers = _controlling_relus(network, work.name, relu_layers)
+        width = max((bits.get(c, 16) for c in controllers), default=16)
+        if width < 16 and not work.is_first:
+            scaled = int(np.ceil(timing.cycles * width / 16.0))
+            timing = LayerTiming(
+                name=timing.name,
+                kind=timing.kind,
+                cycles=max(scaled, 1),
+                lane_events={
+                    k: v * width / 16.0 for k, v in timing.lane_events.items()
+                },
+                counters=timing.counters,
+            )
+        layers.append(timing)
+    layers.extend(other_layers_timing(network, config))
+    return NetworkTiming(
+        network=network.name, architecture="cnvlutin", layers=layers
+    )

@@ -1,0 +1,30 @@
+"""Shared hardware substrate: memories, buffers, interconnect, cycle kernel.
+
+These building blocks are used by both the DaDianNao baseline model
+(:mod:`repro.baseline`) and the Cnvlutin model (:mod:`repro.core`); their
+access counters feed the calibrated energy model (:mod:`repro.power`).
+"""
+
+from repro.hw.buffers import BrickBufferEntry, NeuronFifo, PartialSumBuffer
+from repro.hw.config import PAPER_CONFIG, ArchConfig, small_config
+from repro.hw.counters import LANE_EVENT_CATEGORIES, ActivityCounters
+from repro.hw.events import CycleKernel, SimulationTimeout
+from repro.hw.interconnect import BroadcastBus
+from repro.hw.memory import BankConflictError, NeuronMemory, SynapseBuffer
+
+__all__ = [
+    "BrickBufferEntry",
+    "NeuronFifo",
+    "PartialSumBuffer",
+    "PAPER_CONFIG",
+    "ArchConfig",
+    "small_config",
+    "LANE_EVENT_CATEGORIES",
+    "ActivityCounters",
+    "CycleKernel",
+    "SimulationTimeout",
+    "BroadcastBus",
+    "BankConflictError",
+    "NeuronMemory",
+    "SynapseBuffer",
+]

@@ -1,0 +1,125 @@
+"""Small SRAM buffers: NBin, NBout and the dispatcher's Brick Buffer.
+
+NBin feeds neuron lanes (64 entries per CNV subunit, each a 16-bit value
+plus a 4-bit offset field), NBout accumulates partial output neurons (64
+entries per unit in CNV), and the Brick Buffer is the dispatcher's 16-entry
+staging store, one entry per NM bank/neuron lane (Section IV-B3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hw.counters import ActivityCounters
+
+__all__ = ["NeuronFifo", "PartialSumBuffer", "BrickBufferEntry"]
+
+
+class NeuronFifo:
+    """A bounded FIFO of (value, offset) pairs modelling one NBin lane."""
+
+    def __init__(self, capacity: int, counters: ActivityCounters | None = None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.counters = counters if counters is not None else ActivityCounters()
+        self._items: list[tuple[float, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def push(self, value: float, offset: int = 0) -> None:
+        """Write one encoded neuron into the buffer."""
+        if self.full:
+            raise OverflowError("NBin overflow")
+        self.counters.add("nbin_writes")
+        self._items.append((value, offset))
+
+    def pop(self) -> tuple[float, int]:
+        """Read the next encoded neuron (counts an nbin_read)."""
+        if self.empty:
+            raise IndexError("NBin underflow")
+        self.counters.add("nbin_reads")
+        return self._items.pop(0)
+
+
+class PartialSumBuffer:
+    """NBout: per-filter partial output-neuron accumulators.
+
+    The unit back-end reduces ``neuron_lanes`` products per filter through
+    an adder tree whose extra input is the partial sum read from NBout; the
+    new sum is written back (Fig. 3 caption).  Accumulation happens at full
+    precision, as in the hardware adder trees.
+    """
+
+    def __init__(self, entries: int, counters: ActivityCounters | None = None):
+        self.entries = entries
+        self.counters = counters if counters is not None else ActivityCounters()
+        self._sums = np.zeros(entries, dtype=np.float64)
+
+    def accumulate(self, index: int, value: float) -> None:
+        """Read-modify-write one partial sum."""
+        self.counters.add("nbout_reads")
+        self.counters.add("nbout_writes")
+        self._sums[index] += value
+
+    def read(self, index: int) -> float:
+        self.counters.add("nbout_reads")
+        return float(self._sums[index])
+
+    def drain(self) -> np.ndarray:
+        """Read out all partial sums and clear (end-of-window writeback)."""
+        self.counters.add("nbout_reads", self.entries)
+        out = self._sums.copy()
+        self._sums[:] = 0.0
+        return out
+
+
+@dataclass
+class BrickBufferEntry:
+    """One dispatcher Brick Buffer entry: the brick being drained to a lane.
+
+    Holds the encoded (value, offset) pairs of one brick plus a drain
+    cursor.  ``exhausted`` turns true once every non-zero neuron has been
+    broadcast; an all-zero brick is exhausted after the single discard
+    cycle the NM bank needed to supply it.
+    """
+
+    values: list[float] = field(default_factory=list)
+    offsets: list[int] = field(default_factory=list)
+    cursor: int = 0
+    valid: bool = False
+
+    def load(self, values: list[float], offsets: list[int]) -> None:
+        self.values = [float(v) for v in values]
+        self.offsets = [int(o) for o in offsets]
+        self.cursor = 0
+        self.valid = True
+
+    @property
+    def exhausted(self) -> bool:
+        return not self.valid or self.cursor >= len(self.values)
+
+    def next_pair(self) -> tuple[float, int] | None:
+        """Pop the next (value, offset) pair, or None if drained/empty."""
+        if self.exhausted:
+            return None
+        pair = (self.values[self.cursor], self.offsets[self.cursor])
+        self.cursor += 1
+        return pair
+
+    def invalidate(self) -> None:
+        self.valid = False
+        self.values = []
+        self.offsets = []
+        self.cursor = 0

@@ -1,0 +1,84 @@
+"""Activity counters: the bridge between timing simulation and energy.
+
+Every simulator in this repo (structural and analytic, baseline and CNV)
+reports its work through an :class:`ActivityCounters` instance.  The energy
+model (:mod:`repro.power.energy`) multiplies these counts by calibrated
+per-event energies; the Fig. 10 execution-activity breakdown is likewise
+assembled from the lane-event counters defined here.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["ActivityCounters", "LANE_EVENT_CATEGORIES"]
+
+#: Lane-event categories of the paper's Fig. 10 breakdown (Section V-B):
+#: each (unit, neuron-lane, cycle) triple is exactly one event.
+LANE_EVENT_CATEGORIES = ("other", "conv1", "nonzero", "zero", "stall")
+
+
+@dataclass
+class ActivityCounters:
+    """A bag of named activity counts.
+
+    Canonical counter names used across the repo:
+
+    ``cycles``              total cycles of the run
+    ``mults``               multiplier activations (products computed)
+    ``adds``                adder-tree input additions
+    ``sb_reads``            synapse-buffer column reads (16 synapses each)
+    ``nm_reads``            neuron-memory brick/fetch-block reads
+    ``nm_writes``           neuron-memory brick writes
+    ``nbin_reads`` / ``nbin_writes``    per-lane NBin accesses
+    ``nbout_reads`` / ``nbout_writes``  partial-sum buffer accesses
+    ``offset_reads``        ZFNAf offset-field reads (CNV only)
+    ``encoder_cycles``      cycles spent by the output encoders
+    ``broadcasts``          interconnect fetch-block broadcasts
+    ``lane_<category>``     Fig. 10 lane events (see LANE_EVENT_CATEGORIES)
+    """
+
+    counts: Counter = field(default_factory=Counter)
+
+    def add(self, name: str, amount: int | float = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counts[name] += amount
+
+    def add_lane_event(self, category: str, amount: int | float = 1) -> None:
+        """Record Fig. 10 lane events of ``category``."""
+        if category not in LANE_EVENT_CATEGORIES:
+            raise ValueError(f"unknown lane event category {category!r}")
+        self.counts[f"lane_{category}"] += amount
+
+    def __getitem__(self, name: str) -> float:
+        return self.counts.get(name, 0)
+
+    def merge(self, other: "ActivityCounters") -> "ActivityCounters":
+        """Accumulate another counter set into this one (returns self)."""
+        self.counts.update(other.counts)
+        return self
+
+    def scaled(self, factor: float) -> "ActivityCounters":
+        """A copy with every count multiplied by ``factor``."""
+        out = ActivityCounters()
+        for name, value in self.counts.items():
+            out.counts[name] = value * factor
+        return out
+
+    def lane_events(self) -> dict[str, float]:
+        """The Fig. 10 breakdown as ``{category: events}``."""
+        return {
+            category: self.counts.get(f"lane_{category}", 0)
+            for category in LANE_EVENT_CATEGORIES
+        }
+
+    def total_lane_events(self) -> float:
+        return sum(self.lane_events().values())
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+        return f"ActivityCounters({body})"

@@ -1,0 +1,41 @@
+"""The fetch-block broadcast interconnect.
+
+DaDianNao broadcasts one 16-neuron fetch block per cycle to all 16 units
+over a single wide interconnect; CNV keeps the structure but widens each
+lane's slot to carry the 4-bit ZFNAf offset alongside the 16-bit neuron
+(Section IV-B3, last paragraph).  The model counts broadcasts and bits
+moved so the energy model can charge interconnect traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.counters import ActivityCounters
+
+__all__ = ["BroadcastBus"]
+
+
+@dataclass
+class BroadcastBus:
+    """A one-to-all-units broadcast bus of ``lanes`` neuron slots."""
+
+    lanes: int
+    data_bits: int = 16
+    offset_bits: int = 0  # 0 for the baseline, 4 for CNV
+    counters: ActivityCounters = field(default_factory=ActivityCounters)
+
+    @property
+    def width_bits(self) -> int:
+        """Total bus width in bits."""
+        return self.lanes * (self.data_bits + self.offset_bits)
+
+    def broadcast(self, payload: list) -> list:
+        """Deliver one fetch block (a list of at most ``lanes`` slots)."""
+        if len(payload) > self.lanes:
+            raise ValueError(
+                f"payload of {len(payload)} slots exceeds bus width {self.lanes}"
+            )
+        self.counters.add("broadcasts")
+        self.counters.add("broadcast_bits", self.width_bits)
+        return payload

@@ -1,0 +1,102 @@
+"""Memory models: central eDRAM Neuron Memory, Synapse Buffers, SRAMs.
+
+These are *structural* models used by the cycle-by-cycle simulators: they
+hold data, enforce per-cycle port limits, and count accesses into
+:class:`~repro.hw.counters.ActivityCounters`.  Capacities and widths follow
+Section IV-A: a 4 MB central NM shared by all units (banked 16-way for CNV,
+Section IV-B3), a 2 MB eDRAM SB per unit, and small SRAM NBin/NBout buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hw.counters import ActivityCounters
+
+__all__ = ["NeuronMemory", "BankConflictError", "SynapseBuffer"]
+
+
+class BankConflictError(RuntimeError):
+    """Raised when a bank is asked for more than one access in a cycle."""
+
+
+@dataclass
+class NeuronMemory:
+    """Banked central eDRAM holding inter-layer neuron arrays.
+
+    The baseline makes one ``neuron_lanes``-wide fetch-block read per cycle.
+    CNV statically distributes input-neuron slices one per bank and the
+    dispatcher reads at most one brick per bank per cycle — the worst-case
+    bandwidth discussed in Section IV-B3.  The model stores arbitrary python
+    payloads (encoded bricks or raw neuron vectors) at integer addresses per
+    bank and enforces the one-access-per-bank-per-cycle limit.
+    """
+
+    num_banks: int = 16
+    counters: ActivityCounters = field(default_factory=ActivityCounters)
+
+    def __post_init__(self) -> None:
+        self._banks: list[dict[int, object]] = [dict() for _ in range(self.num_banks)]
+        self._last_access_cycle: list[int] = [-1] * self.num_banks
+
+    def store(self, bank: int, address: int, payload: object) -> None:
+        """Backdoor store used to (pre)load a layer's activations."""
+        self._banks[bank][address] = payload
+
+    def read(self, bank: int, address: int, cycle: int) -> object:
+        """Timed read: one access per bank per cycle, counted as nm_read."""
+        if self._last_access_cycle[bank] == cycle:
+            raise BankConflictError(
+                f"NM bank {bank} accessed twice in cycle {cycle}"
+            )
+        self._last_access_cycle[bank] = cycle
+        self.counters.add("nm_reads")
+        return self._banks[bank][address]
+
+    def write(self, bank: int, address: int, payload: object, cycle: int) -> None:
+        """Timed write: shares the per-bank port with reads."""
+        if self._last_access_cycle[bank] == cycle:
+            raise BankConflictError(
+                f"NM bank {bank} accessed twice in cycle {cycle}"
+            )
+        self._last_access_cycle[bank] = cycle
+        self.counters.add("nm_writes")
+        self._banks[bank][address] = payload
+
+    def peek(self, bank: int, address: int) -> object:
+        """Untimed read for validation/debug (no counting)."""
+        return self._banks[bank][address]
+
+    def entries(self, bank: int) -> int:
+        return len(self._banks[bank])
+
+
+@dataclass
+class SynapseBuffer:
+    """Per-(sub)unit synapse storage.
+
+    Holds a 2-D array ``columns[column_index] -> vector of synapses`` (one
+    synapse per filter lane).  In the baseline one SB column read per cycle
+    supplies all 256 synapse lanes of a unit; in CNV each *subunit* owns a
+    private SB slice (128 KB) and reads the column selected by the neuron's
+    ZFNAf offset.  Reads are counted per column (16 synapses each), the
+    granularity at which the paper reports SB dynamic-energy savings.
+    """
+
+    columns: np.ndarray  # shape (num_columns, synapses_per_column)
+    counters: ActivityCounters = field(default_factory=ActivityCounters)
+
+    def __post_init__(self) -> None:
+        if self.columns.ndim != 2:
+            raise ValueError("SB columns must be a 2-D array")
+
+    @property
+    def num_columns(self) -> int:
+        return self.columns.shape[0]
+
+    def read_column(self, index: int) -> np.ndarray:
+        """Read one column (one synapse per filter lane)."""
+        self.counters.add("sb_reads")
+        return self.columns[index]

@@ -1,0 +1,75 @@
+"""Shared timing-result types for the baseline and CNV models.
+
+Both accelerators report per-layer and whole-network results in the same
+structures so the experiment harness can compute speedups, Fig. 10
+activity breakdowns and energy numbers uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.counters import LANE_EVENT_CATEGORIES, ActivityCounters
+
+__all__ = ["LayerTiming", "NetworkTiming"]
+
+
+@dataclass
+class LayerTiming:
+    """Timing and activity of one layer on one accelerator.
+
+    ``lane_events`` uses the paper's execution-activity metric
+    (Section V-B): ``units x neuron_lanes x cycles`` events, each assigned
+    to exactly one of other / conv1 / non-zero / zero / stall.
+    """
+
+    name: str
+    kind: str
+    cycles: int
+    lane_events: dict[str, float]
+    counters: ActivityCounters = field(default_factory=ActivityCounters)
+
+    def __post_init__(self) -> None:
+        for category in self.lane_events:
+            if category not in LANE_EVENT_CATEGORIES:
+                raise ValueError(f"unknown lane-event category {category!r}")
+
+
+@dataclass
+class NetworkTiming:
+    """Aggregated timing of one network on one accelerator."""
+
+    network: str
+    architecture: str
+    layers: list[LayerTiming]
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def conv_cycles(self) -> int:
+        return sum(layer.cycles for layer in self.layers if layer.kind == "conv")
+
+    def lane_events(self) -> dict[str, float]:
+        """Merged Fig. 10 breakdown over all layers."""
+        merged = {category: 0.0 for category in LANE_EVENT_CATEGORIES}
+        for layer in self.layers:
+            for category, events in layer.lane_events.items():
+                merged[category] += events
+        return merged
+
+    def counters(self) -> ActivityCounters:
+        """Merged activity counters over all layers."""
+        merged = ActivityCounters()
+        for layer in self.layers:
+            merged.merge(layer.counters)
+        merged.counts["cycles"] = self.total_cycles
+        return merged
+
+    def cycles_by_layer(self) -> dict[str, int]:
+        return {layer.name: layer.cycles for layer in self.layers}
+
+    def seconds(self, frequency_ghz: float) -> float:
+        """Execution time at the given clock."""
+        return self.total_cycles / (frequency_ghz * 1e9)

@@ -1,0 +1,51 @@
+"""Weight-store serialization.
+
+Calibrated and trained weight stores are expensive to rebuild (calibration
+runs forward passes; training runs SGD), so the library can persist them
+as a single ``.npz`` file: weights and biases as arrays, shifts as a pair
+of aligned name/value arrays.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.inference import WeightStore
+
+__all__ = ["save_weights", "load_weights"]
+
+_WEIGHT_PREFIX = "w::"
+_BIAS_PREFIX = "b::"
+_SHIFT_PREFIX = "s::"
+
+
+def save_weights(store: WeightStore, path: str | Path) -> None:
+    """Write a WeightStore to ``path`` (.npz)."""
+    arrays: dict[str, np.ndarray] = {}
+    for name, weights in store.weights.items():
+        arrays[_WEIGHT_PREFIX + name] = weights
+    for name, bias in store.biases.items():
+        arrays[_BIAS_PREFIX + name] = bias
+    for name, shift in store.shifts.items():
+        # Scalars and per-channel arrays both store as arrays.
+        arrays[_SHIFT_PREFIX + name] = np.asarray(shift)
+    np.savez(path, **arrays)
+
+
+def load_weights(path: str | Path) -> WeightStore:
+    """Read a WeightStore previously written by :func:`save_weights`."""
+    store = WeightStore()
+    with np.load(path) as data:
+        for key in data.files:
+            if key.startswith(_WEIGHT_PREFIX):
+                store.weights[key[len(_WEIGHT_PREFIX):]] = data[key]
+            elif key.startswith(_BIAS_PREFIX):
+                store.biases[key[len(_BIAS_PREFIX):]] = data[key]
+            elif key.startswith(_SHIFT_PREFIX):
+                value = data[key]
+                store.shifts[key[len(_SHIFT_PREFIX):]] = (
+                    float(value) if value.ndim == 0 else value
+                )
+    return store

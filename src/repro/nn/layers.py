@@ -1,0 +1,285 @@
+"""Functional DNN layer implementations (the golden model).
+
+All layer functions operate on activations stored as 3-D numpy arrays with
+layout ``(depth, height, width)`` — i.e. ``a[z, y, x]`` — matching the
+paper's description of a layer input as an ``Ix x Iy x i`` array of *input
+neurons* indexed ``n(x, y, z)``.  Filters (synapses) are 4-D
+``(num_filters, depth, Fy, Fx)``.
+
+These implementations are the *golden model*: both the DaDianNao baseline
+simulator and the Cnvlutin simulator validate their outputs against them
+(the paper's own simulator validated against Caffe in the same fashion,
+Section V-A).  ``conv2d`` uses an im2col + matmul formulation for speed; a
+deliberately naive quadruple-loop ``conv2d_naive`` exists for testing the
+fast path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "conv2d",
+    "conv2d_naive",
+    "relu",
+    "threshold_relu",
+    "max_pool2d",
+    "avg_pool2d",
+    "lrn",
+    "fully_connected",
+    "softmax",
+    "im2col",
+    "conv_output_size",
+    "pad_input",
+]
+
+
+def conv_output_size(in_size: int, kernel: int, stride: int, pad: int) -> int:
+    """Output spatial size for a convolution/pooling window.
+
+    Implements ``O = (I - F + 2*pad) / S + 1`` (floor), the formula from
+    Section III-A generalized with padding.
+    """
+    out = (in_size - kernel + 2 * pad) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size: in={in_size} kernel={kernel} "
+            f"stride={stride} pad={pad}"
+        )
+    return out
+
+
+def pad_input(activations: np.ndarray, pad: int) -> np.ndarray:
+    """Zero-pad the spatial (y, x) dimensions of a ``(z, y, x)`` array."""
+    if pad < 0:
+        raise ValueError("pad must be non-negative")
+    if pad == 0:
+        return activations
+    return np.pad(activations, ((0, 0), (pad, pad), (pad, pad)))
+
+
+def im2col(
+    activations: np.ndarray, kernel_y: int, kernel_x: int, stride: int
+) -> np.ndarray:
+    """Unfold windows of a (pre-padded) ``(z, y, x)`` array into columns.
+
+    Returns an array of shape ``(out_y * out_x, z * kernel_y * kernel_x)``
+    where each row is one window flattened in ``(z, fy, fx)`` order.
+    """
+    depth, in_y, in_x = activations.shape
+    out_y = (in_y - kernel_y) // stride + 1
+    out_x = (in_x - kernel_x) // stride + 1
+    sz, sy, sx = activations.strides
+    windows = np.lib.stride_tricks.as_strided(
+        activations,
+        shape=(out_y, out_x, depth, kernel_y, kernel_x),
+        strides=(sy * stride, sx * stride, sz, sy, sx),
+        writeable=False,
+    )
+    return windows.reshape(out_y * out_x, depth * kernel_y * kernel_x)
+
+
+def conv2d(
+    activations: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    pad: int = 0,
+    groups: int = 1,
+) -> np.ndarray:
+    """2-D convolution (cross-correlation, as in CNN frameworks).
+
+    Parameters
+    ----------
+    activations:
+        Input neurons, shape ``(i, Iy, Ix)``.
+    weights:
+        Synapses, shape ``(N, i // groups, Fy, Fx)``.
+    bias:
+        Optional per-filter bias, shape ``(N,)``.
+    stride, pad:
+        Spatial stride and symmetric zero padding.
+    groups:
+        Grouped convolution (AlexNet-style two-GPU splits use ``groups=2``).
+
+    Returns
+    -------
+    Output neurons of shape ``(N, Oy, Ox)`` (pre-activation — apply
+    :func:`relu` separately, mirroring the hardware where ReLU happens at
+    the output of the unit back-end).
+    """
+    depth, in_y, in_x = activations.shape
+    num_filters, w_depth, kernel_y, kernel_x = weights.shape
+    if depth % groups or num_filters % groups:
+        raise ValueError("depth and num_filters must be divisible by groups")
+    if w_depth != depth // groups:
+        raise ValueError(
+            f"weight depth {w_depth} != input depth {depth} / groups {groups}"
+        )
+    padded = pad_input(activations, pad)
+    out_y = conv_output_size(in_y, kernel_y, stride, pad)
+    out_x = conv_output_size(in_x, kernel_x, stride, pad)
+
+    group_depth = depth // groups
+    group_filters = num_filters // groups
+    # Compute in the inputs' precision (float32 weights halve the cost of
+    # the full-resolution experiment sweeps; default stays float64).
+    out = np.empty(
+        (num_filters, out_y, out_x), dtype=np.result_type(activations, weights)
+    )
+    for g in range(groups):
+        cols = im2col(
+            padded[g * group_depth : (g + 1) * group_depth], kernel_y, kernel_x, stride
+        )
+        w_mat = weights[g * group_filters : (g + 1) * group_filters].reshape(
+            group_filters, -1
+        )
+        result = cols @ w_mat.T  # (out_y*out_x, group_filters)
+        out[g * group_filters : (g + 1) * group_filters] = result.T.reshape(
+            group_filters, out_y, out_x
+        )
+    if bias is not None:
+        out += np.asarray(bias).reshape(num_filters, 1, 1)
+    return out
+
+
+def conv2d_naive(
+    activations: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    pad: int = 0,
+    groups: int = 1,
+) -> np.ndarray:
+    """Reference quadruple-loop convolution used to validate :func:`conv2d`.
+
+    Implements the Section III-A sum directly::
+
+        o(k, l, f) = sum_y sum_x sum_i s^f(y, x, i) * n(y + l*S, x + k*S, i)
+    """
+    depth, in_y, in_x = activations.shape
+    num_filters, w_depth, kernel_y, kernel_x = weights.shape
+    padded = pad_input(activations, pad)
+    out_y = conv_output_size(in_y, kernel_y, stride, pad)
+    out_x = conv_output_size(in_x, kernel_x, stride, pad)
+    group_depth = depth // groups
+    group_filters = num_filters // groups
+
+    out = np.zeros((num_filters, out_y, out_x), dtype=np.float64)
+    for f in range(num_filters):
+        g = f // group_filters
+        z0 = g * group_depth
+        for oy in range(out_y):
+            for ox in range(out_x):
+                acc = 0.0
+                for fy in range(kernel_y):
+                    for fx in range(kernel_x):
+                        for z in range(w_depth):
+                            acc += (
+                                weights[f, z, fy, fx]
+                                * padded[z0 + z, oy * stride + fy, ox * stride + fx]
+                            )
+                out[f, oy, ox] = acc
+    if bias is not None:
+        out += np.asarray(bias).reshape(num_filters, 1, 1)
+    return out
+
+
+def relu(activations: np.ndarray) -> np.ndarray:
+    """Rectifier: positives pass, negatives become zero (Section II)."""
+    return np.maximum(activations, 0.0)
+
+
+def threshold_relu(activations: np.ndarray, threshold: float) -> np.ndarray:
+    """ReLU followed by dynamic neuron pruning (Section V-E).
+
+    Values whose magnitude is below ``threshold`` are set to zero so the
+    Cnvlutin encoder will drop them.  With ``threshold == 0`` this is plain
+    ReLU.  The hardware reuses the max-pooling comparators for this check.
+    """
+    out = np.maximum(activations, 0.0)
+    if threshold > 0:
+        out[np.abs(out) < threshold] = 0.0
+    return out
+
+
+def _pool2d(
+    activations: np.ndarray, kernel: int, stride: int, pad: int, reducer
+) -> np.ndarray:
+    depth, in_y, in_x = activations.shape
+    out_y = conv_output_size(in_y, kernel, stride, pad)
+    out_x = conv_output_size(in_x, kernel, stride, pad)
+    padded = pad_input(activations, pad)
+    # Pooling windows may overhang the padded input on the far edge for
+    # some Caffe geometries (ceil-mode); clip window extents instead.
+    out = np.empty((depth, out_y, out_x), dtype=activations.dtype)
+    for oy in range(out_y):
+        y0 = oy * stride
+        y1 = min(y0 + kernel, padded.shape[1])
+        for ox in range(out_x):
+            x0 = ox * stride
+            x1 = min(x0 + kernel, padded.shape[2])
+            out[:, oy, ox] = reducer(padded[:, y0:y1, x0:x1])
+    return out
+
+
+def max_pool2d(
+    activations: np.ndarray, kernel: int, stride: int, pad: int = 0
+) -> np.ndarray:
+    """Max pooling over ``kernel x kernel`` windows."""
+    return _pool2d(
+        activations, kernel, stride, pad, lambda w: w.reshape(w.shape[0], -1).max(axis=1)
+    )
+
+
+def avg_pool2d(
+    activations: np.ndarray, kernel: int, stride: int, pad: int = 0
+) -> np.ndarray:
+    """Average pooling over ``kernel x kernel`` windows."""
+    return _pool2d(
+        activations,
+        kernel,
+        stride,
+        pad,
+        lambda w: w.reshape(w.shape[0], -1).mean(axis=1),
+    )
+
+
+def lrn(
+    activations: np.ndarray,
+    local_size: int = 5,
+    alpha: float = 1e-4,
+    beta: float = 0.75,
+    k: float = 1.0,
+) -> np.ndarray:
+    """Local response normalization across channels (AlexNet-style)."""
+    depth = activations.shape[0]
+    half = local_size // 2
+    squared = activations**2
+    sums = np.zeros_like(activations)
+    for z in range(depth):
+        lo, hi = max(0, z - half), min(depth, z + half + 1)
+        sums[z] = squared[lo:hi].sum(axis=0)
+    return activations / (k + (alpha / local_size) * sums) ** beta
+
+
+def fully_connected(
+    activations: np.ndarray, weights: np.ndarray, bias: np.ndarray | None = None
+) -> np.ndarray:
+    """Fully-connected layer: flatten input, multiply by ``(out, in)`` weights."""
+    flat = activations.reshape(-1)
+    if weights.shape[1] != flat.size:
+        raise ValueError(
+            f"FC weight columns {weights.shape[1]} != flattened input {flat.size}"
+        )
+    out = weights @ flat
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over a 1-D logit vector."""
+    shifted = logits - logits.max()
+    exps = np.exp(shifted)
+    return exps / exps.sum()

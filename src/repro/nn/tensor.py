@@ -1,0 +1,145 @@
+"""Fixed-point tensor utilities.
+
+DaDianNao and Cnvlutin operate on 16-bit fixed-point values (the paper
+assumes "16-bit fixed-point" neurons and synapses throughout, Section IV-A).
+This module provides the quantization helpers used by both the functional
+simulators and the reference (float) inference engine so that hardware
+outputs can be validated bit-exactly against a quantized golden model.
+
+The fixed-point format is a signed two's-complement Q(m.f) format with
+``total_bits`` total bits of which ``frac_bits`` are fractional.  Values are
+represented *in integer form* (numpy ``int32`` holding the raw fixed-point
+integer) so that multiply/accumulate arithmetic mirrors what the hardware
+datapath does: a 16b x 16b multiply produces a 32b product, products are
+accumulated at full precision in the adder trees, and the final output
+neuron is rounded/saturated back to 16 bits before being written to NBout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FixedPointFormat",
+    "DEFAULT_FORMAT",
+    "quantize",
+    "dequantize",
+    "saturate",
+    "fixed_point_mac",
+]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed two's-complement fixed-point format.
+
+    Attributes
+    ----------
+    total_bits:
+        Total width in bits including the sign bit.
+    frac_bits:
+        Number of fractional bits.  ``value = raw / 2**frac_bits``.
+    """
+
+    total_bits: int = 16
+    frac_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 2:
+            raise ValueError("total_bits must be >= 2")
+        if not 0 <= self.frac_bits < self.total_bits:
+            raise ValueError("frac_bits must be in [0, total_bits)")
+
+    @property
+    def scale(self) -> int:
+        """Integer scale factor ``2**frac_bits``."""
+        return 1 << self.frac_bits
+
+    @property
+    def raw_min(self) -> int:
+        """Smallest representable raw integer."""
+        return -(1 << (self.total_bits - 1))
+
+    @property
+    def raw_max(self) -> int:
+        """Largest representable raw integer."""
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.raw_min / self.scale
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.raw_max / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Value of one least-significant bit."""
+        return 1.0 / self.scale
+
+
+#: The 16-bit format used by the paper's datapath.  Q8.8 gives a dynamic
+#: range of [-128, 128) with 1/256 resolution which is ample for the
+#: normalized activations this repo generates.
+DEFAULT_FORMAT = FixedPointFormat(total_bits=16, frac_bits=8)
+
+
+def quantize(values: np.ndarray, fmt: FixedPointFormat = DEFAULT_FORMAT) -> np.ndarray:
+    """Quantize real ``values`` to raw fixed-point integers (``int32``).
+
+    Rounds to nearest (ties away from zero, matching a hardware
+    round-half-away adder) and saturates to the representable range.
+    """
+    raw = np.asarray(values, dtype=np.float64) * fmt.scale
+    raw = np.where(raw >= 0, np.floor(raw + 0.5), np.ceil(raw - 0.5))
+    return np.clip(raw, fmt.raw_min, fmt.raw_max).astype(np.int32)
+
+
+def dequantize(raw: np.ndarray, fmt: FixedPointFormat = DEFAULT_FORMAT) -> np.ndarray:
+    """Convert raw fixed-point integers back to real values (``float64``)."""
+    return np.asarray(raw, dtype=np.float64) / fmt.scale
+
+
+def saturate(raw: np.ndarray, fmt: FixedPointFormat = DEFAULT_FORMAT) -> np.ndarray:
+    """Saturate raw integers to the representable range of ``fmt``."""
+    return np.clip(np.asarray(raw), fmt.raw_min, fmt.raw_max).astype(np.int32)
+
+
+def fixed_point_mac(
+    neurons_raw: np.ndarray,
+    synapses_raw: np.ndarray,
+    fmt: FixedPointFormat = DEFAULT_FORMAT,
+) -> np.ndarray:
+    """Multiply-accumulate in raw fixed-point, as the NFU datapath does.
+
+    ``neurons_raw`` and ``synapses_raw`` are broadcast-compatible arrays of
+    raw integers.  Each product of two Q(m.f) numbers is a Q(2m.2f) number;
+    the adder tree accumulates products at full precision (``int64``), and
+    the caller is responsible for the final rescale via
+    :func:`rescale_accumulator`.
+    """
+    return (
+        np.asarray(neurons_raw, dtype=np.int64) * np.asarray(synapses_raw, dtype=np.int64)
+    )
+
+
+def rescale_accumulator(
+    acc: np.ndarray, fmt: FixedPointFormat = DEFAULT_FORMAT
+) -> np.ndarray:
+    """Rescale a full-precision accumulator back to raw Q(m.f) with rounding.
+
+    The accumulator holds Q(2m.2f) sums; shifting right by ``frac_bits``
+    (with round-to-nearest) returns to Q(m.f), then saturates.
+    """
+    acc = np.asarray(acc, dtype=np.int64)
+    half = 1 << (fmt.frac_bits - 1) if fmt.frac_bits > 0 else 0
+    rounded = np.where(acc >= 0, acc + half, acc - half) >> fmt.frac_bits
+    return np.clip(rounded, fmt.raw_min, fmt.raw_max).astype(np.int32)
+
+
+__all__.append("rescale_accumulator")

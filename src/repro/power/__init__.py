@@ -1,0 +1,24 @@
+"""Calibrated area/energy models and efficiency metrics (Figs. 11-13)."""
+
+from repro.power.area import AreaBreakdown, area_breakdown, cnv_area_overhead
+from repro.power.components import BASELINE, CNV, COMPONENTS, COUNTER_COMPONENT, ArchPowerModel
+from repro.power.energy import EnergyReport, energy_report, model_for
+from repro.power.metrics import EfficiencyMetrics, ed2p, edp, improvement
+
+__all__ = [
+    "AreaBreakdown",
+    "area_breakdown",
+    "cnv_area_overhead",
+    "BASELINE",
+    "CNV",
+    "COMPONENTS",
+    "COUNTER_COMPONENT",
+    "ArchPowerModel",
+    "EnergyReport",
+    "energy_report",
+    "model_for",
+    "EfficiencyMetrics",
+    "ed2p",
+    "edp",
+    "improvement",
+]

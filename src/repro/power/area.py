@@ -1,0 +1,41 @@
+"""Area model (Fig. 11): per-component breakdowns and the CNV overhead."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.components import BASELINE, CNV, COMPONENTS, ArchPowerModel
+
+__all__ = ["AreaBreakdown", "area_breakdown", "cnv_area_overhead"]
+
+
+@dataclass
+class AreaBreakdown:
+    """Per-component area of one architecture, in mm² and fractions."""
+
+    architecture: str
+    by_component: dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.by_component.values())
+
+    def fraction(self, component: str) -> float:
+        return self.by_component[component] / self.total
+
+    def fractions(self) -> dict[str, float]:
+        return {c: self.fraction(c) for c in self.by_component}
+
+
+def area_breakdown(model: ArchPowerModel | None = None) -> AreaBreakdown:
+    """The Fig. 11 area breakdown for one architecture (default baseline)."""
+    model = model if model is not None else BASELINE
+    return AreaBreakdown(
+        architecture=model.name,
+        by_component={c: model.area_mm2[c] for c in COMPONENTS},
+    )
+
+
+def cnv_area_overhead() -> float:
+    """CNV's total area overhead over the baseline (paper: 4.49%)."""
+    return CNV.total_area / BASELINE.total_area - 1.0

@@ -1,0 +1,103 @@
+"""Energy model (Fig. 12): activity counts x calibrated per-access energies.
+
+Dynamic energy charges every activity counter to its component at the
+architecture's per-access energy; static energy is each component's leakage
+power times the measured runtime.  Average power is total energy over
+runtime.  Because static energy scales with runtime, CNV's speedup itself
+saves eDRAM leakage energy — a large part of why the paper's overall
+energy drops despite the wider, banked NM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.counters import ActivityCounters
+from repro.power.components import (
+    BASELINE,
+    CNV,
+    COMPONENTS,
+    COUNTER_COMPONENT,
+    ArchPowerModel,
+)
+
+__all__ = ["EnergyReport", "energy_report", "model_for"]
+
+
+def model_for(architecture: str) -> ArchPowerModel:
+    """The power model for an architecture name used by NetworkTiming."""
+    if architecture == BASELINE.name:
+        return BASELINE
+    if architecture == CNV.name:
+        return CNV
+    if architecture == "dadiannao-gated":
+        # Eyeriss-style gating: baseline silicon (areas, leakage, access
+        # energies); the savings come purely from the gated activity counts.
+        return BASELINE
+    raise KeyError(f"unknown architecture {architecture!r}")
+
+
+@dataclass
+class EnergyReport:
+    """Energy and power of one run, per component and kind."""
+
+    architecture: str
+    seconds: float
+    dynamic_j: dict[str, float]
+    static_j: dict[str, float]
+
+    @property
+    def total_dynamic_j(self) -> float:
+        return sum(self.dynamic_j.values())
+
+    @property
+    def total_static_j(self) -> float:
+        return sum(self.static_j.values())
+
+    @property
+    def total_j(self) -> float:
+        return self.total_dynamic_j + self.total_static_j
+
+    @property
+    def average_power_w(self) -> float:
+        return self.total_j / self.seconds if self.seconds > 0 else 0.0
+
+    def component_j(self, component: str) -> float:
+        return self.dynamic_j[component] + self.static_j[component]
+
+    def by_component(self) -> dict[str, float]:
+        return {c: self.component_j(c) for c in COMPONENTS}
+
+
+def energy_report(
+    counters: ActivityCounters,
+    seconds: float,
+    architecture: str,
+    model: ArchPowerModel | None = None,
+) -> EnergyReport:
+    """Compute the energy report for one measured run.
+
+    Parameters
+    ----------
+    counters:
+        Merged activity counters from a timing run.
+    seconds:
+        Measured runtime (cycles / frequency).
+    architecture:
+        ``"dadiannao"`` or ``"cnvlutin"`` (selects the calibrated model
+        unless ``model`` overrides it).
+    """
+    model = model if model is not None else model_for(architecture)
+    dynamic = {c: 0.0 for c in COMPONENTS}
+    for counter, count in counters.as_dict().items():
+        component = COUNTER_COMPONENT.get(counter)
+        if component is None:
+            continue
+        dynamic[component] += count * model.dynamic_energy_pj[counter] * 1e-12
+    static = {c: model.static_power_w[c] * seconds for c in COMPONENTS}
+    return EnergyReport(
+        architecture=architecture,
+        seconds=seconds,
+        dynamic_j=dynamic,
+        static_j=static,
+    )

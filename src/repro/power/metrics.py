@@ -1,0 +1,49 @@
+"""Efficiency metrics: EDP and ED²P (Fig. 13).
+
+The paper compares architectures with the Energy-Delay Product
+(Gonzalez & Horowitz) and the Energy-Delay-Squared Product (ET², Martin et
+al.); both are computed from measured energy and delay, and improvements
+are reported as baseline/CNV ratios (>1 means CNV is better).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EfficiencyMetrics", "edp", "ed2p", "improvement"]
+
+
+def edp(energy_j: float, delay_s: float) -> float:
+    """Energy-Delay Product in joule-seconds."""
+    return energy_j * delay_s
+
+
+def ed2p(energy_j: float, delay_s: float) -> float:
+    """Energy-Delay-Squared Product in joule-seconds²."""
+    return energy_j * delay_s * delay_s
+
+
+@dataclass
+class EfficiencyMetrics:
+    """Energy/delay of one run plus derived products."""
+
+    energy_j: float
+    delay_s: float
+
+    @property
+    def edp(self) -> float:
+        return edp(self.energy_j, self.delay_s)
+
+    @property
+    def ed2p(self) -> float:
+        return ed2p(self.energy_j, self.delay_s)
+
+
+def improvement(baseline: EfficiencyMetrics, contender: EfficiencyMetrics) -> dict[str, float]:
+    """Baseline-over-contender improvement ratios (Fig. 13 bars)."""
+    return {
+        "speedup": baseline.delay_s / contender.delay_s,
+        "energy": baseline.energy_j / contender.energy_j,
+        "edp": baseline.edp / contender.edp,
+        "ed2p": baseline.ed2p / contender.ed2p,
+    }

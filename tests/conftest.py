@@ -1,0 +1,57 @@
+"""Shared fixtures for the Cnvlutin reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baseline.workload import ConvWork
+from repro.hw.config import ArchConfig, small_config
+from repro.nn.activations import sparse_activations
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_arch() -> ArchConfig:
+    """2 units x 4 lanes x 2 filters, brick 4 — structural-sim scale."""
+    return small_config()
+
+
+def make_conv_work(
+    rng: np.random.Generator,
+    in_depth: int = 8,
+    in_y: int = 6,
+    in_x: int = 6,
+    num_filters: int = 4,
+    kernel: int = 3,
+    stride: int = 1,
+    pad: int = 1,
+    groups: int = 1,
+    zero_fraction: float = 0.45,
+    name: str = "layer",
+    is_first: bool = False,
+) -> tuple[ConvWork, np.ndarray]:
+    """A random conv workload plus matching weights."""
+    out_y = (in_y - kernel + 2 * pad) // stride + 1
+    out_x = (in_x - kernel + 2 * pad) // stride + 1
+    activations = sparse_activations(
+        (in_depth, in_y, in_x), zero_fraction, rng, correlation=1.0
+    )
+    weights = rng.normal(size=(num_filters, in_depth // groups, kernel, kernel))
+    geometry = {
+        "in_depth": in_depth,
+        "in_y": in_y,
+        "in_x": in_x,
+        "num_filters": num_filters,
+        "kernel": kernel,
+        "stride": stride,
+        "pad": pad,
+        "groups": groups,
+        "out_y": out_y,
+        "out_x": out_x,
+    }
+    return ConvWork(name=name, geometry=geometry, activations=activations, is_first=is_first), weights

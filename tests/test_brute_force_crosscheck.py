@@ -1,0 +1,136 @@
+"""Brute-force cross-checks: independent reimplementations of the timing
+math, written the slow-and-obvious way, must agree with the vectorized
+models.  (The structural simulators are the third, cycle-by-cycle opinion;
+these tests pin down the closed forms themselves.)"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baseline.timing import baseline_conv_timing
+from repro.baseline.workload import ConvWork, group_activations
+from repro.core.timing import cnv_conv_timing, lane_assignment
+from repro.hw.config import ArchConfig
+from repro.nn.activations import sparse_activations
+
+
+def brute_force_cnv_cycles(work: ConvWork, config: ArchConfig) -> int:
+    """Obvious per-window, per-lane enumeration of CNV cycles."""
+    geom = work.geometry
+    kernel, stride = geom["kernel"], geom["stride"]
+    lanes, brick = config.neuron_lanes, config.brick_size
+    total = 0
+    for group in range(work.num_groups):
+        slab = group_activations(work, group)
+        depth = slab.shape[0]
+        bricks_z = -(-depth // brick)
+        passes = -(-work.filters_per_group // config.filters_per_pass)
+        for oy in range(geom["out_y"]):
+            for ox in range(geom["out_x"]):
+                lane_cycles = [0] * lanes
+                index = 0
+                for fy in range(kernel):
+                    for fx in range(kernel):
+                        for bz in range(bricks_z):
+                            z0, z1 = bz * brick, min((bz + 1) * brick, depth)
+                            nnz = int(
+                                (slab[z0:z1, oy * stride + fy, ox * stride + fx] != 0).sum()
+                            )
+                            cost = max(nnz, config.empty_brick_cycles)
+                            lane_cycles[index % lanes] += cost
+                            index += 1
+                total += max(lane_cycles) * passes
+    return total
+
+
+def brute_force_baseline_cycles(work: ConvWork, config: ArchConfig) -> int:
+    geom = work.geometry
+    kernel = geom["kernel"]
+    windows = geom["out_y"] * geom["out_x"]
+    total = 0
+    for group in range(work.num_groups):
+        depth = geom["in_depth"] // geom["groups"]
+        passes = -(-work.filters_per_group // config.filters_per_pass)
+        if config.fetch_packing == "row":
+            per_window = kernel * (-(-(kernel * depth) // config.neuron_lanes))
+        else:
+            per_window = -(-(kernel * kernel * depth) // config.neuron_lanes)
+        total += windows * per_window * passes
+    return total
+
+
+cases = st.tuples(
+    st.sampled_from([3, 4, 6, 8, 12]),  # depth
+    st.integers(4, 7),  # spatial
+    st.sampled_from([2, 5]),  # filters
+    st.integers(1, 3),  # kernel
+    st.integers(1, 2),  # stride
+    st.integers(0, 1),  # pad
+    st.floats(0.0, 0.9),
+    st.integers(0, 2**32 - 1),
+)
+
+
+class TestBruteForceAgreement:
+    @settings(max_examples=25, deadline=None)
+    @given(cases, st.sampled_from([0, 1]), st.sampled_from(["window", "row"]))
+    def test_cnv_and_baseline_cycles(self, case, empty_cost, packing):
+        depth, size, filters, kernel, stride, pad, zf, seed = case
+        out = (size - kernel + 2 * pad) // stride + 1
+        if out <= 0:
+            return
+        rng = np.random.default_rng(seed)
+        act = sparse_activations((depth, size, size), zf, rng, correlation=0.7)
+        config = ArchConfig(
+            num_units=2,
+            neuron_lanes=4,
+            filters_per_unit=2,
+            brick_size=4,
+            empty_brick_cycles=empty_cost,
+            fetch_packing=packing,
+        )
+        work = ConvWork(
+            "bf",
+            {
+                "in_depth": depth, "in_y": size, "in_x": size,
+                "num_filters": filters, "kernel": kernel, "stride": stride,
+                "pad": pad, "groups": 1, "out_y": out, "out_x": out,
+            },
+            act,
+        )
+        assert cnv_conv_timing(work, config).cycles == brute_force_cnv_cycles(
+            work, config
+        )
+        assert baseline_conv_timing(work, config).cycles == (
+            brute_force_baseline_cycles(work, config)
+        )
+
+    def test_grouped_case(self, rng):
+        act = sparse_activations((8, 6, 6), 0.5, rng)
+        config = ArchConfig(num_units=1, neuron_lanes=4, filters_per_unit=2, brick_size=4)
+        work = ConvWork(
+            "bf",
+            {
+                "in_depth": 8, "in_y": 6, "in_x": 6, "num_filters": 4,
+                "kernel": 2, "stride": 1, "pad": 0, "groups": 2,
+                "out_y": 5, "out_x": 5,
+            },
+            act,
+        )
+        assert cnv_conv_timing(work, config).cycles == brute_force_cnv_cycles(
+            work, config
+        )
+
+
+class TestLaneAssignmentBruteForce:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 20), st.sampled_from([4, 8, 16]))
+    def test_matches_flat_enumeration(self, ky, kx, bz, lanes):
+        a = lane_assignment(ky, kx, bz, lanes)
+        index = 0
+        for fy in range(ky):
+            for fx in range(kx):
+                for b in range(bz):
+                    assert a[fy, fx, b] == index % lanes
+                    index += 1

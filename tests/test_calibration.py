@@ -1,0 +1,129 @@
+"""Sparsity-calibration tests (repro.nn.calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.calibration import (
+    PAPER_ZERO_FRACTIONS,
+    calibrate_network,
+    layer_targets,
+    measure_zero_fractions,
+)
+from repro.nn.datasets import natural_images
+from repro.nn.inference import init_weights
+from repro.nn.models import build_network
+
+
+class TestLayerTargets:
+    def test_weighted_mean_hits_target(self):
+        net = build_network("vgg19", input_size=64)
+        targets = layer_targets(net, 0.45)
+        macs = net.macs_per_layer()
+        weights = {l.name: macs[l.name] for l in net.conv_layers}
+        total = sum(weights.values())
+        mean = sum(weights[k] * v for k, v in targets.items()) / total
+        assert mean == pytest.approx(0.45, abs=0.02)
+
+    def test_first_layer_pinned_to_zero(self):
+        net = build_network("alex", input_size=67)
+        targets = layer_targets(net, 0.44)
+        assert targets["conv1"] == 0.0
+
+    def test_later_layers_sparser(self):
+        net = build_network("vgg19", input_size=64)
+        targets = layer_targets(net, 0.45)
+        convs = [l.name for l in net.conv_layers]
+        assert targets[convs[-1]] > targets[convs[1]]
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("name", ["alex", "nin"])
+    def test_achieves_network_target(self, name):
+        net = build_network(name, input_size=67 if name == "alex" else 64)
+        rng = np.random.default_rng(7)
+        store = init_weights(net, rng)
+        images = natural_images(net.input_shape, 2, seed=8)
+        calibrate_network(net, store, images[0])
+        report = measure_zero_fractions(net, store, images)
+        assert report.mac_weighted_mean == pytest.approx(
+            PAPER_ZERO_FRACTIONS[name], abs=0.08
+        )
+
+    def test_sparsity_stable_across_inputs(self):
+        """Fig. 1's error bars: zero fractions barely vary across images."""
+        net = build_network("alex", input_size=67)
+        rng = np.random.default_rng(7)
+        store = init_weights(net, rng)
+        images = natural_images(net.input_shape, 4, seed=9)
+        calibrate_network(net, store, images[0])
+        report = measure_zero_fractions(net, store, images)
+        assert report.std_across_images < 0.05
+
+    def test_first_layer_input_stays_dense(self):
+        net = build_network("alex", input_size=67)
+        rng = np.random.default_rng(7)
+        store = init_weights(net, rng)
+        images = natural_images(net.input_shape, 1, seed=10)
+        calibrate_network(net, store, images[0])
+        report = measure_zero_fractions(net, store, images)
+        assert report.per_layer["conv1"] < 0.05
+
+    def test_calibration_sets_shifts(self):
+        net = build_network("alex", input_size=67)
+        rng = np.random.default_rng(7)
+        store = init_weights(net, rng)
+        images = natural_images(net.input_shape, 1, seed=10)
+        assert not store.shifts
+        calibrate_network(net, store, images[0])
+        assert store.shifts  # one per ReLU'd layer
+        assert all(np.isfinite(v) for v in store.shifts.values())
+
+
+class TestPerChannelMode:
+    def test_per_channel_keeps_channels_alive(self):
+        """per_channel=True gives every unit its own operating point:
+        far fewer channels stay dead across inputs."""
+        import numpy as np
+        from repro.nn.inference import run_forward
+
+        def dead_channel_fraction(per_channel):
+            net = build_network("alex", input_size=67)
+            store = init_weights(net, np.random.default_rng(7))
+            images = natural_images(net.input_shape, 3, seed=12)
+            calibrate_network(net, store, images, per_channel=per_channel)
+            dead = total = 0
+            for layer in ("conv3", "conv4", "conv5"):
+                counts = None
+                for image in images:
+                    fwd = run_forward(net, store, image, keep_outputs=False)
+                    mask = (fwd.conv_inputs[layer] == 0).all(axis=(1, 2))
+                    counts = mask if counts is None else counts & mask
+                dead += int(counts.sum())
+                total += counts.size
+            return dead / total
+
+        assert dead_channel_fraction(True) < dead_channel_fraction(False)
+
+    def test_multi_image_calibration_accepted(self):
+        import numpy as np
+
+        net = build_network("alex", input_size=67)
+        store = init_weights(net, np.random.default_rng(7))
+        images = natural_images(net.input_shape, 2, seed=13)
+        calibrate_network(net, store, images)
+        report = measure_zero_fractions(net, store, images)
+        assert 0.3 < report.mac_weighted_mean < 0.6
+
+
+class TestMeasurement:
+    def test_thresholds_raise_measured_sparsity(self):
+        net = build_network("alex", input_size=67)
+        rng = np.random.default_rng(7)
+        store = init_weights(net, rng)
+        images = natural_images(net.input_shape, 1, seed=11)
+        calibrate_network(net, store, images[0])
+        clean = measure_zero_fractions(net, store, images)
+        pruned = measure_zero_fractions(
+            net, store, images, thresholds={"conv1": 0.2, "conv2": 0.2}
+        )
+        assert pruned.mac_weighted_mean > clean.mac_weighted_mean

@@ -1,0 +1,73 @@
+"""ASCII chart rendering tests (repro.experiments.charts)."""
+
+from repro.experiments.charts import bar_chart, render, scatter_chart, stacked_bar_chart
+from repro.experiments.report import ExperimentResult
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = bar_chart([("a", 1.0), ("b", 2.0)], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("█") == 2 * lines[0].count("█")
+
+    def test_reference_marker(self):
+        text = bar_chart([("a", 1.0)], width=10, reference=2.0)
+        assert "|" in text
+
+    def test_empty(self):
+        assert bar_chart([]) == "(no data)"
+
+    def test_value_format(self):
+        text = bar_chart([("a", 0.5)], value_format="{:.0%}")
+        assert "50%" in text
+
+
+class TestStackedBarChart:
+    def test_legend_and_totals(self):
+        text = stacked_bar_chart(
+            [("x", {"nonzero": 0.5, "stall": 0.25})], ["nonzero", "stall"]
+        )
+        assert "0.75" in text
+        assert "x=stall" in text
+
+    def test_empty(self):
+        assert stacked_bar_chart([], ["a"]) == "(no data)"
+
+
+class TestScatterChart:
+    def test_glyphs_placed(self):
+        text = scatter_chart([(1.0, 0.9, "alex"), (2.0, 0.5, "nin")])
+        assert "a" in text and "n" in text
+        assert "speedup" not in text  # default labels
+
+    def test_axis_ranges_printed(self):
+        text = scatter_chart([(1.0, 0.5, "p"), (3.0, 1.0, "q")], x_label="s")
+        assert "1.00 .. 3.00" in text
+
+    def test_empty(self):
+        assert scatter_chart([]) == "(no data)"
+
+
+class TestRenderDispatch:
+    def test_fig9_renders_bars(self):
+        result = ExperimentResult(
+            experiment="fig9",
+            title="t",
+            rows=[{"network": "alex", "CNV": 1.4, "paper_CNV": 1.37}],
+        )
+        assert "█" in render(result)
+
+    def test_fig14_renders_scatter(self):
+        result = ExperimentResult(
+            experiment="fig14",
+            title="t",
+            rows=[
+                {"network": "alex", "speedup": 1.3, "relative_accuracy": 1.0},
+                {"network": "alex", "speedup": 1.6, "relative_accuracy": 0.8},
+            ],
+        )
+        assert "relative accuracy" in render(result)
+
+    def test_table_only_experiments_return_none(self):
+        result = ExperimentResult(experiment="table1", title="t", rows=[{"a": 1}])
+        assert render(result) is None

@@ -1,0 +1,104 @@
+"""Multi-node scaling tests (repro.cluster)."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    capacity_report,
+    cluster_network_timing,
+    nodes_required,
+)
+from repro.hw.config import PAPER_CONFIG, small_config
+from repro.nn.datasets import natural_images
+from repro.nn.inference import init_weights, run_forward
+from repro.nn.models import build_network
+
+
+@pytest.fixture(scope="module")
+def alex_run():
+    net = build_network("alex", input_size=67)
+    import numpy as np
+
+    store = init_weights(net, np.random.default_rng(5))
+    image = natural_images(net.input_shape, 1, seed=6)[0]
+    fwd = run_forward(net, store, image, keep_outputs=False)
+    return net, fwd
+
+
+class TestClusterConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_nodes=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(broadcast_overlap=1.5)
+
+    def test_bytes_per_cycle(self):
+        cfg = ClusterConfig(link_gbytes_per_sec=25.6)
+        assert cfg.bytes_per_cycle == pytest.approx(25.6)
+
+
+class TestClusterTiming:
+    def test_single_node_matches_node_timing(self, alex_run):
+        from repro.baseline.timing import baseline_network_timing
+
+        net, fwd = alex_run
+        single = cluster_network_timing(
+            net, fwd.conv_inputs, ClusterConfig(num_nodes=1)
+        )
+        node = baseline_network_timing(net, fwd.conv_inputs, PAPER_CONFIG)
+        assert single.total_cycles == node.total_cycles
+
+    def test_more_nodes_never_slower(self, alex_run):
+        net, fwd = alex_run
+        one = cluster_network_timing(net, fwd.conv_inputs, ClusterConfig(num_nodes=1))
+        four = cluster_network_timing(net, fwd.conv_inputs, ClusterConfig(num_nodes=4))
+        assert four.total_cycles <= one.total_cycles
+
+    def test_scaling_sublinear_due_to_broadcast(self, alex_run):
+        """Broadcast cost keeps multi-node scaling below ideal."""
+        net, fwd = alex_run
+        cfg = ClusterConfig(num_nodes=4, broadcast_overlap=0.0)
+        four = cluster_network_timing(net, fwd.conv_inputs, cfg)
+        overlapped = cluster_network_timing(
+            net, fwd.conv_inputs, ClusterConfig(num_nodes=4, broadcast_overlap=1.0)
+        )
+        assert four.total_cycles > overlapped.total_cycles
+
+    def test_cnv_cluster_faster_than_baseline_cluster(self, alex_run):
+        net, fwd = alex_run
+        cfg = ClusterConfig(num_nodes=2)
+        base = cluster_network_timing(net, fwd.conv_inputs, cfg, "dadiannao")
+        cnv = cluster_network_timing(net, fwd.conv_inputs, cfg, "cnvlutin")
+        assert cnv.total_cycles < base.total_cycles
+
+    def test_nodes_used_recorded(self, alex_run):
+        net, fwd = alex_run
+        timing = cluster_network_timing(
+            net, fwd.conv_inputs, ClusterConfig(num_nodes=4)
+        )
+        conv_layers = [l for l in timing.layers if l.kind == "conv"]
+        assert all(1 <= l.nodes_used <= 4 for l in conv_layers)
+
+
+class TestCapacity:
+    def test_alexnet_fc_exceeds_one_node(self):
+        """alex fc6 holds ~75 MB of synapses: more than one 32 MB SB —
+        the scenario Section IV-A's multi-node support exists for."""
+        net = build_network("alex")  # full size
+        assert nodes_required(net, PAPER_CONFIG) >= 2
+
+    def test_small_network_fits_one_node(self):
+        net = build_network("nin", input_size=64)
+        assert nodes_required(net, PAPER_CONFIG) == 1
+
+    def test_tiny_node_needs_more(self):
+        net = build_network("vgg19", input_size=112)
+        small = small_config()
+        assert nodes_required(net, small) > nodes_required(net, PAPER_CONFIG)
+
+    def test_capacity_report_fields(self):
+        net = build_network("alex", input_size=67)
+        report = capacity_report(net, PAPER_CONFIG)
+        assert report["sb_capacity_mb"] == 32.0
+        assert report["nm_capacity_mb"] == 4.0
+        assert report["nodes_required"] >= 1

@@ -1,0 +1,161 @@
+"""Analytic CNV timing tests (repro.core.timing)."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.timing import baseline_conv_timing
+from repro.baseline.workload import ConvWork
+from repro.core.timing import cnv_conv_timing, lane_assignment, window_lane_cycles
+from repro.hw.config import PAPER_CONFIG, small_config
+
+from conftest import make_conv_work
+
+
+class TestLaneAssignment:
+    def test_full_depth_reduces_to_vertical_slices(self):
+        """With bricks_per_column == lanes (i = 256 in the paper), every
+        window column deals its bricks to lanes 0..15 in order — exactly
+        the Fig. 6(b) slice assignment."""
+        a = lane_assignment(3, 3, 16, 16)
+        for fy in range(3):
+            for fx in range(3):
+                assert list(a[fy, fx]) == list(range(16))
+
+    def test_round_robin_balance(self):
+        """Any window's bricks spread across lanes with counts differing by
+        at most one (the best any static assignment can do)."""
+        a = lane_assignment(5, 5, 3, 16)
+        counts = np.bincount(a.reshape(-1), minlength=16)
+        assert counts.max() - counts.min() <= 1
+
+    def test_enumeration_order_bz_fastest(self):
+        a = lane_assignment(1, 2, 4, 16)
+        assert list(a[0, 0]) == [0, 1, 2, 3]
+        assert list(a[0, 1]) == [4, 5, 6, 7]
+
+
+class TestWindowLaneCycles:
+    def test_single_window_manual(self):
+        """2x2 kernel, 1 brick column, 2 lanes: lanes get alternate bricks."""
+        cost = np.array(
+            [[[3], [1]], [[2], [5]]], dtype=np.int64
+        )  # (y, x, bz=1)
+        nnz = cost.copy()
+        lanes, window_nnz = window_lane_cycles(cost, nnz, 2, 2, 1, 1, 1, 2)
+        # Enumeration: (0,0),(0,1),(1,0),(1,1) -> lanes 0,1,0,1.
+        assert lanes[0, 0, 0] == 3 + 2
+        assert lanes[0, 0, 1] == 1 + 5
+        assert window_nnz[0, 0] == 11
+
+
+class TestCnvCycles:
+    def test_dense_full_depth_matches_baseline(self, rng):
+        """With no zeros, no padding, and brick-aligned balanced windows,
+        CNV takes exactly the baseline's cycles."""
+        work, _ = make_conv_work(
+            rng, in_depth=16, kernel=2, pad=0, zero_fraction=0.0, num_filters=4
+        )
+        cfg = small_config()  # brick 4, 4 lanes -> 4 bricks/column = lanes
+        base = baseline_conv_timing(work, cfg)
+        cnv = cnv_conv_timing(work, cfg)
+        assert cnv.cycles == base.cycles
+
+    def test_sparser_is_never_slower(self, rng):
+        """Zeroing more neurons can only reduce CNV cycles."""
+        cfg = small_config()
+        work, _ = make_conv_work(rng, zero_fraction=0.3)
+        sparser = ConvWork(
+            name=work.name,
+            geometry=work.geometry,
+            activations=np.where(
+                rng.uniform(size=work.activations.shape) < 0.5,
+                0.0,
+                work.activations,
+            ),
+        )
+        assert cnv_conv_timing(sparser, cfg).cycles <= cnv_conv_timing(work, cfg).cycles
+
+    def test_all_zero_input_costs_one_cycle_per_brick(self, rng):
+        """Empty bricks drain at the one-brick-per-bank-cycle NM limit."""
+        work, _ = make_conv_work(rng, in_depth=8, kernel=2, pad=0, zero_fraction=0.0)
+        zero_work = ConvWork(
+            name=work.name,
+            geometry=work.geometry,
+            activations=np.zeros_like(work.activations),
+        )
+        cfg = small_config()  # 4 lanes, brick 4: 2 bricks/column, 8 bricks/window
+        timing = cnv_conv_timing(zero_work, cfg)
+        # 8 bricks round-robin on 4 lanes -> 2 bubbles per lane -> 2 cycles.
+        windows = work.geometry["out_y"] * work.geometry["out_x"]
+        assert timing.cycles == windows * 2
+        assert timing.lane_events["nonzero"] == 0
+
+    def test_free_skip_ablation(self, rng):
+        """empty_brick_cycles=0 removes the empty-brick bubbles."""
+        work, _ = make_conv_work(rng, zero_fraction=0.6)
+        cfg = small_config()
+        with_bubble = cnv_conv_timing(work, cfg)
+        free = cnv_conv_timing(work, cfg.with_(empty_brick_cycles=0))
+        assert free.cycles <= with_bubble.cycles
+        assert free.lane_events["zero"] == 0
+
+    def test_first_layer_falls_back_to_baseline(self, rng):
+        work, _ = make_conv_work(rng, is_first=True)
+        cfg = small_config()
+        cnv = cnv_conv_timing(work, cfg)
+        base = baseline_conv_timing(work, cfg)
+        assert cnv.cycles == base.cycles
+        assert set(cnv.lane_events) == {"conv1"}
+
+    def test_first_layer_encoded_ablation(self, rng):
+        """first_layer_encoded=True lets CNV skip conv1 zeros too."""
+        work, _ = make_conv_work(rng, is_first=True, zero_fraction=0.6)
+        cfg = small_config().with_(first_layer_encoded=True)
+        cnv = cnv_conv_timing(work, cfg)
+        base = baseline_conv_timing(work, small_config())
+        assert cnv.cycles < base.cycles
+
+    def test_event_total_is_units_lanes_cycles(self, rng):
+        work, _ = make_conv_work(rng, zero_fraction=0.5)
+        cfg = small_config()
+        timing = cnv_conv_timing(work, cfg)
+        total = sum(timing.lane_events.values())
+        assert total == pytest.approx(
+            timing.cycles * cfg.num_units * cfg.neuron_lanes
+        )
+
+    def test_nonzero_events_equal_nonzero_work(self, rng):
+        """Each non-zero neuron is processed exactly once per pass per
+        window covering it — counted through the lane-event metric."""
+        work, _ = make_conv_work(
+            rng, in_depth=8, in_y=4, in_x=4, kernel=2, pad=0, stride=2, zero_fraction=0.5
+        )
+        cfg = small_config()
+        timing = cnv_conv_timing(work, cfg)
+        # stride 2, kernel 2: each neuron in exactly one window.
+        nnz = int((work.activations != 0).sum())
+        assert timing.lane_events["nonzero"] == nnz * cfg.num_units
+
+    def test_groups_and_passes_scale(self, rng):
+        work, _ = make_conv_work(rng, in_depth=8, num_filters=8, groups=2)
+        cfg = small_config()
+        timing = cnv_conv_timing(work, cfg)
+        assert timing.cycles > 0
+        single, _ = make_conv_work(rng, in_depth=8, num_filters=4, groups=2)
+
+    def test_speedup_in_plausible_band(self, rng):
+        """At ~45% zeros, conv speedup lands in the paper's ballpark."""
+        work, _ = make_conv_work(
+            rng, in_depth=64, in_y=10, in_x=10, num_filters=8, zero_fraction=0.45
+        )
+        cfg = PAPER_CONFIG
+        base = baseline_conv_timing(work, cfg).cycles
+        cnv = cnv_conv_timing(work, cfg).cycles
+        assert 1.1 < base / cnv < 2.0
+
+    def test_unaligned_depth_padded(self, rng):
+        """Depth 24 (google 5x5 layers) pads the final brick with zeros."""
+        work, _ = make_conv_work(rng, in_depth=6, kernel=2, pad=0)  # brick 4 -> 1.5
+        cfg = small_config()
+        timing = cnv_conv_timing(work, cfg)
+        assert timing.cycles > 0

@@ -1,0 +1,129 @@
+"""Dispatcher tests (repro.core.dispatcher)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dispatcher import DispatchedBrick, Dispatcher, bank_pressure
+from repro.hw.config import ArchConfig
+
+
+def _brick(values, offsets, seq):
+    return DispatchedBrick(
+        values=np.array(values, dtype=float),
+        offsets=np.array(offsets, dtype=int),
+        seq=seq,
+    )
+
+
+def _cfg(lanes=2, empty=1):
+    return ArchConfig(
+        num_units=1,
+        neuron_lanes=lanes,
+        filters_per_unit=1,
+        brick_size=4,
+        empty_brick_cycles=empty,
+    )
+
+
+class TestDispatch:
+    def test_independent_lane_drain(self):
+        """Lanes drain at their own rate — the decoupling of Section III-C."""
+        d = Dispatcher(_cfg())
+        d.load_window([
+            [_brick([1, 2, 3], [0, 1, 3], 0)],
+            [_brick([9], [2], 0)],
+        ])
+        kinds = []
+        for cycle in range(3):
+            d.tick(cycle)
+            kinds.append([s.kind for s in d.current_slots])
+        assert kinds == [
+            ["pair", "pair"],
+            ["pair", "idle"],  # lane 1 finished, idles (stall)
+            ["pair", "idle"],
+        ]
+        assert d.window_done
+
+    def test_values_and_offsets_delivered_in_order(self):
+        d = Dispatcher(_cfg(lanes=1))
+        d.load_window([[_brick([5, 7], [1, 3], 0), _brick([2], [0], 1)]])
+        got = []
+        for cycle in range(3):
+            d.tick(cycle)
+            slot = d.current_slots[0]
+            got.append((slot.value, slot.offset, slot.seq))
+        assert got == [(5, 1, 0), (7, 3, 0), (2, 0, 1)]
+
+    def test_no_bubble_between_bricks(self):
+        """Prefetch hides the next brick's fetch (Section IV-B3)."""
+        d = Dispatcher(_cfg(lanes=1))
+        d.load_window([[_brick([1], [0], 0), _brick([2], [0], 1)]])
+        d.tick(0)
+        assert d.current_slots[0].kind == "pair"
+        d.tick(1)
+        assert d.current_slots[0].kind == "pair"
+        assert d.window_done
+
+    def test_empty_brick_costs_one_cycle(self):
+        d = Dispatcher(_cfg(lanes=1, empty=1))
+        d.load_window([[_brick([], [], 0), _brick([3], [2], 1)]])
+        d.tick(0)
+        assert d.current_slots[0].kind == "bubble"
+        d.tick(1)
+        assert d.current_slots[0].kind == "pair"
+        assert d.current_slots[0].value == 3
+
+    def test_free_skip_ablation(self):
+        """empty_brick_cycles=0: empty bricks are skipped in zero cycles."""
+        d = Dispatcher(_cfg(lanes=1, empty=0))
+        d.load_window([[_brick([], [], 0), _brick([], [], 1), _brick([3], [2], 2)]])
+        d.tick(0)
+        assert d.current_slots[0].kind == "pair"
+        assert d.current_slots[0].value == 3
+        assert d.window_done
+
+    def test_all_empty_window_free_skip(self):
+        d = Dispatcher(_cfg(lanes=1, empty=0))
+        d.load_window([[_brick([], [], 0), _brick([], [], 1)]])
+        d.tick(0)
+        assert d.current_slots[0].kind == "idle"
+        assert d.window_done
+
+    def test_nm_reads_counted_per_brick(self):
+        d = Dispatcher(_cfg(lanes=1))
+        d.load_window([[_brick([1], [0], 0), _brick([], [], 1), _brick([2], [1], 2)]])
+        for cycle in range(3):
+            d.tick(cycle)
+        assert d.counters["nm_reads"] == 3
+
+    def test_queue_count_validation(self):
+        d = Dispatcher(_cfg(lanes=2))
+        with pytest.raises(ValueError):
+            d.load_window([[]])
+
+    def test_window_reload(self):
+        """A dispatcher is reused across windows (Section IV-B5)."""
+        d = Dispatcher(_cfg(lanes=1))
+        d.load_window([[_brick([1], [0], 0)]])
+        d.tick(0)
+        assert d.window_done
+        d.load_window([[_brick([2], [1], 0)]])
+        assert not d.window_done
+        d.tick(1)
+        assert d.current_slots[0].value == 2
+
+
+class TestBankPressure:
+    def test_no_conflicts(self):
+        addresses = np.array([[0, 1, 2, 3]])
+        hist = bank_pressure(addresses, 4)
+        assert hist == {1: 4}
+
+    def test_conflicts_counted(self):
+        addresses = np.array([[0, 4, 1, -1]])  # banks 0,0,1 with 4 banks
+        hist = bank_pressure(addresses, 4)
+        assert hist == {2: 1, 1: 1}
+
+    def test_idle_rows_ignored(self):
+        addresses = np.full((3, 4), -1)
+        assert bank_pressure(addresses, 4) == {}

@@ -1,0 +1,59 @@
+"""Serial output-encoder tests (repro.core.encoder)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoder import Encoder
+from repro.core.zfnaf import encode_brick
+
+
+class TestEncoder:
+    def test_matches_vectorized_encoding(self):
+        neurons = np.array([0.0, 1.5, 0.0, 0.0, 2.0, 0.0, 0.0, 3.0] + [0.0] * 8)
+        result = Encoder(brick_size=16).encode_brick(neurons)
+        values, offsets = encode_brick(neurons)
+        assert np.array_equal(result.values, values)
+        assert np.array_equal(result.offsets, offsets)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.sampled_from([0.0, 0.0, 1.0, -2.5, 0.25]), min_size=16, max_size=16))
+    def test_property_matches_vectorized(self, neurons):
+        neurons = np.array(neurons)
+        result = Encoder(brick_size=16).encode_brick(neurons)
+        values, offsets = encode_brick(neurons)
+        assert np.array_equal(result.values, values)
+        assert np.array_equal(result.offsets, offsets)
+
+    def test_serial_cost_is_one_cycle_per_neuron(self):
+        """Section IV-B4: the encoder examines one IB neuron per cycle."""
+        enc = Encoder(brick_size=16)
+        result = enc.encode_brick(np.zeros(16))
+        assert result.cycles == 16
+        assert enc.counters["encoder_cycles"] == 16
+
+    def test_threshold_prunes_near_zero(self):
+        """Section V-E: below-threshold neurons are dropped from the stream."""
+        neurons = np.zeros(16)
+        neurons[2] = 0.05
+        neurons[7] = 0.5
+        result = Encoder(brick_size=16, threshold=0.1).encode_brick(neurons)
+        assert list(result.offsets) == [7]
+
+    def test_threshold_zero_keeps_all_nonzeros(self):
+        neurons = np.zeros(16)
+        neurons[1] = 1e-6
+        result = Encoder(brick_size=16).encode_brick(neurons)
+        assert list(result.offsets) == [1]
+
+    def test_wrong_brick_size_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Encoder(brick_size=16).encode_brick(np.zeros(8))
+
+    def test_nm_write_counted_per_brick(self):
+        enc = Encoder(brick_size=4)
+        enc.encode_brick(np.ones(4))
+        enc.encode_brick(np.ones(4))
+        assert enc.counters["nm_writes"] == 2

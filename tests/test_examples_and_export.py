@@ -1,0 +1,76 @@
+"""Executable-documentation tests: examples run, exports are well-formed."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import ExperimentResult
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def _run_example(script: str, *args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["CNVLUTIN_CACHE_DIR"] = str(REPO / ".cache")
+    return subprocess.run(
+        [sys.executable, str(REPO / "examples" / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = _run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "speedup" in result.stdout
+        assert "match the structural simulators" in result.stdout
+
+    def test_custom_network(self):
+        result = _run_example("custom_network.py")
+        assert result.returncode == 0, result.stderr
+        assert "paper geometry" in result.stdout
+
+    def test_alexnet_speedup_tiny(self):
+        result = _run_example("alexnet_speedup.py", "--scale", "tiny")
+        assert result.returncode == 0, result.stderr
+        assert "total:" in result.stdout
+        assert "EDP gain" in result.stdout
+
+    def test_multinode_scaling(self):
+        result = _run_example("multinode_scaling.py")
+        assert result.returncode == 0, result.stderr
+        assert "nodes_required" in result.stdout
+
+
+class TestJsonExport:
+    def test_to_json_roundtrips(self):
+        result = ExperimentResult(
+            experiment="fig9",
+            title="Speedup",
+            rows=[{"network": "alex", "CNV": 1.5, "paper": float("nan")}],
+            notes="n",
+        )
+        payload = json.loads(result.to_json())
+        assert payload["experiment"] == "fig9"
+        assert payload["rows"][0]["CNV"] == 1.5
+        assert payload["rows"][0]["paper"] is None  # NaN -> null
+
+    def test_runner_json_flag(self, tmp_path, monkeypatch):
+        from repro.experiments.runner import main
+
+        monkeypatch.setenv("CNVLUTIN_CACHE_DIR", str(tmp_path / "cache"))
+        out = tmp_path / "results.json"
+        code = main([
+            "--scale", "tiny", "--networks", "alex",
+            "--only", "table1,fig11", "--json", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert [p["experiment"] for p in payload] == ["table1", "fig11"]

@@ -1,0 +1,224 @@
+"""Hardware substrate tests (repro.hw)."""
+
+import numpy as np
+import pytest
+
+from repro.hw.buffers import BrickBufferEntry, NeuronFifo, PartialSumBuffer
+from repro.hw.config import PAPER_CONFIG, ArchConfig, small_config
+from repro.hw.counters import ActivityCounters
+from repro.hw.events import CycleKernel, SimulationTimeout
+from repro.hw.interconnect import BroadcastBus
+from repro.hw.memory import BankConflictError, NeuronMemory, SynapseBuffer
+
+
+class TestArchConfig:
+    def test_paper_defaults(self):
+        cfg = PAPER_CONFIG
+        assert cfg.num_units == 16
+        assert cfg.filters_per_pass == 256
+        assert cfg.multipliers_per_unit == 256
+        assert cfg.offset_bits == 4
+        assert cfg.sb_bytes_total == 32 * 1024 * 1024
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            ArchConfig(num_units=0)
+        with pytest.raises(ValueError):
+            ArchConfig(empty_brick_cycles=2)
+
+    def test_with_updates(self):
+        cfg = PAPER_CONFIG.with_(brick_size=8)
+        assert cfg.brick_size == 8
+        assert PAPER_CONFIG.brick_size == 16  # frozen original untouched
+
+    def test_small_config(self):
+        cfg = small_config()
+        assert cfg.filters_per_pass == 4
+
+
+class TestCounters:
+    def test_add_and_merge(self):
+        a = ActivityCounters()
+        a.add("mults", 10)
+        b = ActivityCounters()
+        b.add("mults", 5)
+        b.add("sb_reads")
+        a.merge(b)
+        assert a["mults"] == 15
+        assert a["sb_reads"] == 1
+        assert a["unknown"] == 0
+
+    def test_lane_events(self):
+        c = ActivityCounters()
+        c.add_lane_event("nonzero", 4)
+        c.add_lane_event("stall", 2)
+        events = c.lane_events()
+        assert events["nonzero"] == 4
+        assert events["zero"] == 0
+        assert c.total_lane_events() == 6
+
+    def test_unknown_lane_category_rejected(self):
+        with pytest.raises(ValueError):
+            ActivityCounters().add_lane_event("bogus")
+
+    def test_scaled(self):
+        c = ActivityCounters()
+        c.add("mults", 3)
+        assert c.scaled(2.0)["mults"] == 6
+        assert c["mults"] == 3
+
+
+class TestNeuronFifo:
+    def test_fifo_order(self):
+        fifo = NeuronFifo(capacity=4)
+        fifo.push(1.0, 0)
+        fifo.push(2.0, 3)
+        assert fifo.pop() == (1.0, 0)
+        assert fifo.pop() == (2.0, 3)
+
+    def test_overflow_and_underflow(self):
+        fifo = NeuronFifo(capacity=1)
+        fifo.push(1.0)
+        with pytest.raises(OverflowError):
+            fifo.push(2.0)
+        fifo.pop()
+        with pytest.raises(IndexError):
+            fifo.pop()
+
+    def test_access_counting(self):
+        counters = ActivityCounters()
+        fifo = NeuronFifo(capacity=4, counters=counters)
+        fifo.push(1.0)
+        fifo.pop()
+        assert counters["nbin_writes"] == 1
+        assert counters["nbin_reads"] == 1
+
+
+class TestPartialSumBuffer:
+    def test_accumulate_and_drain(self):
+        buf = PartialSumBuffer(entries=4)
+        buf.accumulate(0, 1.5)
+        buf.accumulate(0, 2.5)
+        buf.accumulate(3, -1.0)
+        sums = buf.drain()
+        assert list(sums) == [4.0, 0.0, 0.0, -1.0]
+        assert list(buf.drain()) == [0.0] * 4  # cleared
+
+    def test_counts_read_modify_write(self):
+        counters = ActivityCounters()
+        buf = PartialSumBuffer(entries=2, counters=counters)
+        buf.accumulate(0, 1.0)
+        assert counters["nbout_reads"] == 1
+        assert counters["nbout_writes"] == 1
+
+
+class TestBrickBufferEntry:
+    def test_drain_sequence(self):
+        entry = BrickBufferEntry()
+        entry.load([1.0, 2.0], [0, 3])
+        assert not entry.exhausted
+        assert entry.next_pair() == (1.0, 0)
+        assert entry.next_pair() == (2.0, 3)
+        assert entry.exhausted
+        assert entry.next_pair() is None
+
+    def test_empty_brick_immediately_exhausted(self):
+        entry = BrickBufferEntry()
+        entry.load([], [])
+        assert entry.exhausted
+
+
+class TestNeuronMemory:
+    def test_store_and_timed_read(self):
+        nm = NeuronMemory(num_banks=2)
+        nm.store(0, 5, "brick")
+        assert nm.read(0, 5, cycle=0) == "brick"
+        assert nm.counters["nm_reads"] == 1
+
+    def test_bank_conflict_same_cycle(self):
+        nm = NeuronMemory(num_banks=2)
+        nm.store(0, 0, "a")
+        nm.store(0, 1, "b")
+        nm.read(0, 0, cycle=7)
+        with pytest.raises(BankConflictError):
+            nm.read(0, 1, cycle=7)
+        assert nm.read(0, 1, cycle=8) == "b"
+
+    def test_different_banks_same_cycle_ok(self):
+        nm = NeuronMemory(num_banks=2)
+        nm.store(0, 0, "a")
+        nm.store(1, 0, "b")
+        nm.read(0, 0, cycle=0)
+        nm.read(1, 0, cycle=0)
+
+    def test_write_shares_port(self):
+        nm = NeuronMemory(num_banks=1)
+        nm.write(0, 0, "x", cycle=3)
+        with pytest.raises(BankConflictError):
+            nm.read(0, 0, cycle=3)
+        assert nm.peek(0, 0) == "x"
+        assert nm.entries(0) == 1
+
+
+class TestSynapseBuffer:
+    def test_column_reads_counted(self):
+        counters = ActivityCounters()
+        sb = SynapseBuffer(columns=np.arange(12).reshape(3, 4), counters=counters)
+        assert list(sb.read_column(1)) == [4, 5, 6, 7]
+        assert counters["sb_reads"] == 1
+        assert sb.num_columns == 3
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            SynapseBuffer(columns=np.arange(4))
+
+
+class TestBroadcastBus:
+    def test_width_includes_offsets(self):
+        base = BroadcastBus(lanes=16, data_bits=16)
+        cnv = BroadcastBus(lanes=16, data_bits=16, offset_bits=4)
+        assert base.width_bits == 256
+        assert cnv.width_bits == 320  # widened for ZFNAf offsets
+
+    def test_broadcast_counts(self):
+        bus = BroadcastBus(lanes=4)
+        bus.broadcast([1, 2, 3, 4])
+        assert bus.counters["broadcasts"] == 1
+        with pytest.raises(ValueError):
+            bus.broadcast([1] * 5)
+
+
+class _CountDown:
+    def __init__(self, n):
+        self.n = n
+
+    def tick(self, cycle):
+        self.n -= 1
+
+
+class TestCycleKernel:
+    def test_runs_until_done(self):
+        c = _CountDown(5)
+        kernel = CycleKernel([c])
+        cycles = kernel.run_until(lambda: c.n <= 0)
+        assert cycles == 5
+
+    def test_timeout(self):
+        kernel = CycleKernel([_CountDown(10)], max_cycles=3)
+        with pytest.raises(SimulationTimeout):
+            kernel.run_until(lambda: False)
+
+    def test_components_tick_in_order(self):
+        order = []
+
+        class Probe:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def tick(self, cycle):
+                order.append(self.tag)
+
+        done = iter([False, True])
+        kernel = CycleKernel([Probe("a"), Probe("b")])
+        kernel.run_until(lambda: next(done))
+        assert order == ["a", "b"]

@@ -1,0 +1,42 @@
+"""Weight serialization tests (repro.nn.io)."""
+
+import numpy as np
+
+from repro.nn.inference import init_weights, run_forward
+from repro.nn.io import load_weights, save_weights
+from repro.nn.models import build_network
+
+
+class TestWeightIo:
+    def test_roundtrip(self, tmp_path, rng):
+        net = build_network("alex", input_size=67)
+        store = init_weights(net, rng)
+        store.shifts = {"conv1": -0.25, "conv2": 0.5}
+        path = tmp_path / "alex.npz"
+        save_weights(store, path)
+        loaded = load_weights(path)
+        assert set(loaded.weights) == set(store.weights)
+        for name in store.weights:
+            assert np.array_equal(loaded.weights[name], store.weights[name])
+            assert np.array_equal(loaded.biases[name], store.biases[name])
+        assert loaded.shifts == store.shifts
+
+    def test_loaded_store_runs_identically(self, tmp_path, rng):
+        net = build_network("nin", input_size=64)
+        store = init_weights(net, rng)
+        path = tmp_path / "nin.npz"
+        save_weights(store, path)
+        loaded = load_weights(path)
+        from repro.nn.datasets import natural_images
+
+        image = natural_images(net.input_shape, 1, seed=1)[0]
+        a = run_forward(net, store, image, keep_outputs=False)
+        b = run_forward(net, loaded, image, keep_outputs=False)
+        assert np.array_equal(a.logits, b.logits)
+
+    def test_empty_shifts(self, tmp_path, rng):
+        net = build_network("alex", input_size=67)
+        store = init_weights(net, rng)
+        path = tmp_path / "w.npz"
+        save_weights(store, path)
+        assert load_weights(path).shifts == {}

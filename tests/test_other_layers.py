@@ -1,0 +1,87 @@
+"""Non-conv layer timing tests (repro.baseline.other_layers)."""
+
+import pytest
+
+from repro.baseline.other_layers import other_layer_timing, other_layers_timing
+from repro.hw.config import PAPER_CONFIG
+from repro.nn.models import build_network
+from repro.nn.network import LayerSpec, Network
+
+
+def fc_net(fc_width=1000, offchip=None):
+    net = Network(
+        name="t",
+        input_shape=(64, 8, 8),
+        layers=[
+            LayerSpec(name="pool", kind="maxpool", kernel=2, stride=2),
+            LayerSpec(name="norm", kind="lrn"),
+            LayerSpec(name="fc", kind="fc", num_filters=fc_width),
+            LayerSpec(name="drop", kind="dropout"),
+            LayerSpec(name="prob", kind="softmax"),
+        ],
+    )
+    return net
+
+
+class TestPooling:
+    def test_streaming_throughput(self):
+        net = fc_net()
+        timing = other_layer_timing(net, "pool", PAPER_CONFIG)
+        neurons = 64 * 8 * 8
+        assert timing.cycles == -(-neurons // (16 * 16))
+        assert timing.kind == "maxpool"
+
+    def test_events_are_other_category(self):
+        net = fc_net()
+        timing = other_layer_timing(net, "pool", PAPER_CONFIG)
+        assert set(timing.lane_events) == {"other"}
+        assert timing.lane_events["other"] == timing.cycles * 16 * 16
+
+
+class TestLrn:
+    def test_double_cost(self):
+        net = fc_net()
+        pool = other_layer_timing(net, "pool", PAPER_CONFIG)
+        norm = other_layer_timing(net, "norm", PAPER_CONFIG)
+        # norm sees the pooled (quarter-size) map but costs 2x per neuron.
+        assert norm.cycles == 2 * -(-64 * 4 * 4 // 256)
+
+
+class TestFc:
+    def test_compute_bound_by_default(self):
+        net = fc_net()
+        timing = other_layer_timing(net, "fc", PAPER_CONFIG)
+        inputs = 64 * 4 * 4
+        assert timing.cycles == -(-inputs // 16) * -(-1000 // 256)
+
+    def test_offchip_bound_when_configured(self):
+        """With finite off-chip bandwidth and synapses beyond SB capacity,
+        streaming bounds the layer."""
+        net = build_network("alex", input_size=227)
+        cfg = PAPER_CONFIG.with_(offchip_gbytes_per_sec=25.6)
+        slow = other_layer_timing(net, "fc6", cfg)
+        fast = other_layer_timing(net, "fc6", PAPER_CONFIG)
+        assert slow.cycles > fast.cycles  # 75 MB of synapses > 32 MB SB
+
+    def test_small_fc_unaffected_by_bandwidth_cap(self):
+        net = fc_net(fc_width=10)
+        cfg = PAPER_CONFIG.with_(offchip_gbytes_per_sec=25.6)
+        assert (
+            other_layer_timing(net, "fc", cfg).cycles
+            == other_layer_timing(net, "fc", PAPER_CONFIG).cycles
+        )
+
+
+class TestFreeLayers:
+    def test_softmax_and_dropout_cost_nothing(self):
+        net = fc_net()
+        assert other_layer_timing(net, "prob", PAPER_CONFIG) is None
+        assert other_layer_timing(net, "drop", PAPER_CONFIG) is None
+
+    def test_network_sweep_skips_conv_and_free(self):
+        net = build_network("alex", input_size=67)
+        timings = other_layers_timing(net, PAPER_CONFIG)
+        names = {t.name for t in timings}
+        assert "conv1" not in names
+        assert "prob" not in names
+        assert {"pool1", "norm1", "fc6"} <= names

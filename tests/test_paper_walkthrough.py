@@ -1,0 +1,114 @@
+"""Reproduce the paper's worked examples (Sections III-B/III-C, Figs. 3/4/7).
+
+The simplified unit of Fig. 3 has two neuron lanes and two filter lanes
+(each with two synapse sublanes); a 2x2x2 window (8 neurons, half of them
+zero) takes the baseline 4 lock-step cycles.  The equivalent CNV unit of
+Fig. 4 splits the front-end into two subunits consuming (value, offset)
+pairs and produces *the same* outputs — 48 for filter 0 and -48 for
+filter 1, the filters being negatives of each other — in just 2 cycles.
+"""
+
+import numpy as np
+
+from repro.baseline.accelerator import DaDianNaoNode
+from repro.baseline.workload import ConvWork
+from repro.core.accelerator import CnvNode
+from repro.core.zfnaf import encode, encode_brick
+from repro.hw.config import ArchConfig
+
+
+def walkthrough_setup():
+    """A 2x2x2 single-window layer matching the Fig. 3/4 narrative.
+
+    The window's four bricks (two neurons each, one per (x, y) position)
+    each contain exactly one non-zero neuron, so the two CNV neuron lanes
+    (two bricks each) finish in two cycles while the baseline's lock-step
+    lanes need all four.  Synapses are chosen to make the filter-0 output
+    48, and filter 1 is filter 0 negated, exactly as in the figures.
+    """
+    config = ArchConfig(
+        num_units=1, neuron_lanes=2, filters_per_unit=2, brick_size=2
+    )
+    activations = np.zeros((2, 2, 2))
+    # Bricks in (y, x) order hold (1,0), (0,2), (3,0), (0,4).
+    activations[:, 0, 0] = (1, 0)
+    activations[:, 0, 1] = (0, 2)
+    activations[:, 1, 0] = (3, 0)
+    activations[:, 1, 1] = (0, 4)
+    weights = np.zeros((2, 2, 2, 2))  # (filter, z, fy, fx)
+    weights[0, :, 0, 0] = (2, 9)  # 1*2 = 2
+    weights[0, :, 0, 1] = (9, 5)  # 2*5 = 10
+    weights[0, :, 1, 0] = (4, 9)  # 3*4 = 12
+    weights[0, :, 1, 1] = (9, 6)  # 4*6 = 24  -> total 48
+    weights[1] = -weights[0]
+    geometry = {
+        "in_depth": 2, "in_y": 2, "in_x": 2, "num_filters": 2,
+        "kernel": 2, "stride": 1, "pad": 0, "groups": 1, "out_y": 1, "out_x": 1,
+    }
+    work = ConvWork("example", geometry, activations)
+    return config, work, weights
+
+
+class TestFig3Baseline:
+    def test_four_lockstep_cycles(self):
+        """Fig. 3 shows 3 of the 4 cycles; 'the calculation of the complete
+        filter would take one additional cycle'."""
+        config, work, weights = walkthrough_setup()
+        result = DaDianNaoNode(config).run_conv_layer(work, weights)
+        assert result.cycles == 4
+
+    def test_outputs_are_48_and_minus_48(self):
+        config, work, weights = walkthrough_setup()
+        result = DaDianNaoNode(config).run_conv_layer(work, weights)
+        assert result.output[0, 0, 0] == 48
+        assert result.output[1, 0, 0] == -48
+
+    def test_baseline_multiplies_the_zeros(self):
+        """Four multiplications could have been avoided (Section III-B)."""
+        config, work, weights = walkthrough_setup()
+        result = DaDianNaoNode(config).run_conv_layer(work, weights)
+        # 4 cycles x 2 lanes x 2 filters = 16 products, half ineffectual.
+        assert result.counters["mults"] == 16
+
+
+class TestFig4Cnv:
+    def test_same_output_in_two_cycles(self):
+        """'The same result as in the baseline (48, -48) is calculated in
+        only two cycles.'"""
+        config, work, weights = walkthrough_setup()
+        result = CnvNode(config).run_conv_layer(work, weights)
+        assert result.cycles == 2
+        assert result.output[0, 0, 0] == 48
+        assert result.output[1, 0, 0] == -48
+
+    def test_only_effectual_products_performed(self):
+        config, work, weights = walkthrough_setup()
+        result = CnvNode(config).run_conv_layer(work, weights)
+        # 4 non-zero neurons x 2 filters = 8 products, none ineffectual.
+        assert result.counters["mults"] == 8
+
+    def test_no_stalls_in_balanced_example(self):
+        config, work, weights = walkthrough_setup()
+        result = CnvNode(config).run_conv_layer(work, weights)
+        assert result.counters["lane_stall"] == 0
+
+
+class TestFig7Zfnaf:
+    def test_section3c_encoding_example(self):
+        """'if the original stream of neurons would have been (1,0,0,3)
+        they will be encoded as ((1,0),(3,3))'."""
+        values, offsets = encode_brick(np.array([1.0, 0.0, 0.0, 3.0]))
+        assert list(zip(values, offsets)) == [(1.0, 0), (3.0, 3)]
+
+    def test_fig7_four_element_bricks(self):
+        """Fig. 7 shows ZFNAf with 4-element bricks: bricks stay at their
+        conventional positions and are zero padded."""
+        stream = np.array([0.0, 1.0, 2.0, 0.0, 0.0, 0.0, 0.0, 3.0])
+        array = stream.reshape(8, 1, 1)
+        z = encode(array, brick_size=4)
+        v0, o0 = z.brick(0, 0, 0)
+        v1, o1 = z.brick(0, 0, 1)
+        assert list(zip(v0, o0)) == [(1.0, 1), (2.0, 2)]
+        assert list(zip(v1, o1)) == [(3.0, 3)]
+        # Capacity reserved regardless of content (no footprint savings).
+        assert z.values.shape == (1, 1, 2, 4)

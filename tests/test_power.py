@@ -1,0 +1,94 @@
+"""Area/energy model tests (repro.power)."""
+
+import pytest
+
+from repro.hw.counters import ActivityCounters
+from repro.power.area import area_breakdown, cnv_area_overhead
+from repro.power.components import BASELINE, CNV, COMPONENTS, COUNTER_COMPONENT
+from repro.power.energy import energy_report, model_for
+from repro.power.metrics import EfficiencyMetrics, ed2p, edp, improvement
+
+
+class TestArea:
+    def test_total_overhead_matches_paper(self):
+        """Section V-C: CNV increases total area by 4.49%."""
+        assert cnv_area_overhead() == pytest.approx(0.0449, abs=0.001)
+
+    def test_component_deltas_match_paper(self):
+        assert CNV.area_mm2["nm"] / BASELINE.area_mm2["nm"] == pytest.approx(1.34)
+        assert CNV.area_mm2["sram"] / BASELINE.area_mm2["sram"] == pytest.approx(1.158)
+        assert CNV.area_mm2["sb"] == BASELINE.area_mm2["sb"]
+
+    def test_sb_dominates(self):
+        """'The filter storage (SB) dominates total area for both'."""
+        for model in (BASELINE, CNV):
+            breakdown = area_breakdown(model)
+            assert breakdown.fraction("sb") > 0.5
+
+    def test_fractions_sum_to_one(self):
+        fractions = area_breakdown(BASELINE).fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+class TestEnergyReport:
+    def _counters(self):
+        c = ActivityCounters()
+        c.add("mults", 1e9)
+        c.add("sb_reads", 1e8)
+        c.add("nm_reads", 1e6)
+        return c
+
+    def test_static_scales_with_time(self):
+        short = energy_report(self._counters(), 0.001, "dadiannao")
+        long = energy_report(self._counters(), 0.002, "dadiannao")
+        assert long.total_static_j == pytest.approx(2 * short.total_static_j)
+        assert long.total_dynamic_j == pytest.approx(short.total_dynamic_j)
+
+    def test_dynamic_scales_with_activity(self):
+        c2 = self._counters()
+        c2.add("mults", 1e9)  # doubled
+        base = energy_report(self._counters(), 0.001, "dadiannao")
+        more = energy_report(c2, 0.001, "dadiannao")
+        assert more.dynamic_j["logic"] > base.dynamic_j["logic"]
+
+    def test_every_counter_mapped_to_a_component(self):
+        for component in COUNTER_COMPONENT.values():
+            assert component in COMPONENTS
+
+    def test_unmapped_counters_ignored(self):
+        c = ActivityCounters()
+        c.add("cycles", 1e6)
+        c.add("lane_stall", 1e6)
+        report = energy_report(c, 0.001, "cnvlutin")
+        assert report.total_dynamic_j == 0.0
+
+    def test_model_for_names(self):
+        assert model_for("dadiannao") is BASELINE
+        assert model_for("cnvlutin") is CNV
+        with pytest.raises(KeyError):
+            model_for("tpu")
+
+    def test_average_power(self):
+        report = energy_report(self._counters(), 0.01, "dadiannao")
+        assert report.average_power_w == pytest.approx(report.total_j / 0.01)
+
+    def test_cnv_nm_access_is_pricier(self):
+        """Wider (offset-carrying) banked NM reads cost more per access."""
+        assert CNV.dynamic_energy_pj["nm_reads"] > BASELINE.dynamic_energy_pj["nm_reads"]
+
+
+class TestMetrics:
+    def test_edp_and_ed2p(self):
+        assert edp(2.0, 3.0) == 6.0
+        assert ed2p(2.0, 3.0) == 18.0
+
+    def test_improvement_ratios(self):
+        base = EfficiencyMetrics(energy_j=1.0, delay_s=1.0)
+        cnv = EfficiencyMetrics(energy_j=0.93, delay_s=1 / 1.37)
+        ratios = improvement(base, cnv)
+        assert ratios["speedup"] == pytest.approx(1.37)
+        assert ratios["energy"] == pytest.approx(1 / 0.93)
+        # The paper's arithmetic: E ratio 0.93 and 1.37x speedup give
+        # EDP 1.47x and ED2P 2.01x.
+        assert ratios["edp"] == pytest.approx(1.47, abs=0.01)
+        assert ratios["ed2p"] == pytest.approx(2.01, abs=0.02)

@@ -1,0 +1,101 @@
+"""Variable-precision extension tests (repro.extensions.precision)."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.timing import baseline_network_timing
+from repro.core.timing import cnv_network_timing
+from repro.extensions.precision import (
+    _format_for,
+    combined_cnv_precision_timing,
+    minimal_precisions,
+    precision_speedup_factor,
+)
+from repro.hw.config import PAPER_CONFIG
+from repro.nn.datasets import natural_images
+from repro.nn.calibration import calibrate_network
+from repro.nn.inference import init_weights, run_forward
+from repro.nn.models import build_network
+
+
+@pytest.fixture(scope="module")
+def calibrated_alex():
+    net = build_network("alex", input_size=67)
+    store = init_weights(net, np.random.default_rng(9))
+    images = natural_images(net.input_shape, 2, seed=10)
+    calibrate_network(net, store, images)
+    return net, store, images
+
+
+class TestFormats:
+    def test_format_keeps_dynamic_range(self):
+        fmt = _format_for(8)
+        assert fmt.total_bits == 8
+        assert fmt.max_value >= 7.9  # 4 integer bits
+
+    def test_minimum_width(self):
+        assert _format_for(2).total_bits == 2
+
+
+class TestMinimalPrecisions:
+    def test_profile_is_stable_and_below_16(self, calibrated_alex):
+        net, store, images = calibrated_alex
+        profile = minimal_precisions(net, store, images)
+        assert profile.stable
+        assert set(profile.bits) == {l.name for l in net.conv_layers}
+        # Random-calibrated networks tolerate meaningful reduction.
+        assert profile.mean_bits < 16
+
+    def test_quantized_forward_respects_formats(self, calibrated_alex):
+        net, store, images = calibrated_alex
+        fmt = _format_for(6)
+        result = run_forward(
+            net, store, images[0], formats={"conv2": fmt}, keep_outputs=True
+        )
+        out = result.outputs["conv2"]
+        grid = out * fmt.scale
+        assert np.allclose(grid, np.round(grid))
+
+
+class TestSpeedupFactor:
+    def test_full_precision_factor_is_one(self):
+        assert precision_speedup_factor({"a": 16, "b": 16}) == 1.0
+
+    def test_half_precision_doubles(self):
+        assert precision_speedup_factor({"a": 8}) == 2.0
+
+    def test_empty_profile(self):
+        assert precision_speedup_factor({}) == 1.0
+
+
+class TestCombinedTiming:
+    def test_full_precision_reduces_to_plain_cnv(self, calibrated_alex):
+        net, store, images = calibrated_alex
+        fwd = run_forward(net, store, images[0], keep_outputs=False)
+        plain = cnv_network_timing(net, fwd.conv_inputs, PAPER_CONFIG)
+        combined = combined_cnv_precision_timing(
+            net, fwd.conv_inputs, PAPER_CONFIG, {l.name: 16 for l in net.conv_layers}
+        )
+        assert combined.total_cycles == plain.total_cycles
+
+    def test_lower_precision_compounds_with_skipping(self, calibrated_alex):
+        net, store, images = calibrated_alex
+        fwd = run_forward(net, store, images[0], keep_outputs=False)
+        base = baseline_network_timing(net, fwd.conv_inputs, PAPER_CONFIG)
+        plain = cnv_network_timing(net, fwd.conv_inputs, PAPER_CONFIG)
+        combined = combined_cnv_precision_timing(
+            net, fwd.conv_inputs, PAPER_CONFIG, {l.name: 8 for l in net.conv_layers}
+        )
+        assert combined.total_cycles < plain.total_cycles < base.total_cycles
+
+    def test_first_layer_unscaled(self, calibrated_alex):
+        """conv1 runs unencoded full-precision, as in plain CNV."""
+        net, store, images = calibrated_alex
+        fwd = run_forward(net, store, images[0], keep_outputs=False)
+        plain = cnv_network_timing(net, fwd.conv_inputs, PAPER_CONFIG)
+        combined = combined_cnv_precision_timing(
+            net, fwd.conv_inputs, PAPER_CONFIG, {l.name: 4 for l in net.conv_layers}
+        )
+        assert (
+            combined.cycles_by_layer()["conv1"] == plain.cycles_by_layer()["conv1"]
+        )

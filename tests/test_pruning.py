@@ -1,0 +1,114 @@
+"""Dynamic-pruning machinery tests (repro.core.pruning)."""
+
+import pytest
+
+from repro.core.pruning import (
+    PruningPoint,
+    ThresholdSearcher,
+    pareto_frontier,
+    power_of_two_thresholds,
+    raw_to_real,
+    real_to_raw,
+)
+
+
+class TestLadder:
+    def test_power_of_two_ladder(self):
+        assert power_of_two_thresholds(4) == (0, 1, 2, 4, 8, 16)
+
+    def test_raw_real_roundtrip(self):
+        for raw in (0, 1, 8, 256):
+            assert real_to_raw(raw_to_real(raw)) == raw
+
+    def test_raw_to_real_uses_format_resolution(self):
+        assert raw_to_real(256) == pytest.approx(1.0)  # Q8.8
+
+
+def synthetic_evaluate(sensitivities, capacity):
+    """A toy pruning landscape: speedup grows with total raw threshold,
+    accuracy falls once the sensitivity-weighted sum passes capacity."""
+
+    def evaluate(raw_thresholds):
+        load = sum(
+            sensitivities[name] * raw for name, raw in raw_thresholds.items()
+        )
+        speedup = 1.0 + 0.01 * sum(raw_thresholds.values())
+        accuracy = 0.9 if load <= capacity else 0.9 - 0.002 * (load - capacity)
+        return accuracy, speedup
+
+    return evaluate
+
+
+class TestSearcher:
+    def test_lossless_search_respects_capacity(self):
+        sens = {"a": 1.0, "b": 4.0}
+        searcher = ThresholdSearcher(
+            evaluate=synthetic_evaluate(sens, capacity=20.0),
+            layer_names=["a", "b"],
+            candidates=(0, 1, 2, 4, 8, 16),
+        )
+        best = searcher.search(tolerance=0.0)
+        load = sum(sens[k] * v for k, v in best.raw_thresholds.items())
+        assert load <= 20.0
+        assert best.speedup > 1.0
+
+    def test_prefers_insensitive_layer(self):
+        sens = {"cheap": 0.1, "expensive": 10.0}
+        searcher = ThresholdSearcher(
+            evaluate=synthetic_evaluate(sens, capacity=5.0),
+            layer_names=["cheap", "expensive"],
+            candidates=(0, 1, 2, 4, 8, 16),
+        )
+        best = searcher.search(tolerance=0.0)
+        assert best.raw_thresholds["cheap"] >= best.raw_thresholds["expensive"]
+
+    def test_tolerance_allows_deeper_pruning(self):
+        sens = {"a": 1.0}
+        make = lambda: ThresholdSearcher(
+            evaluate=synthetic_evaluate(sens, capacity=4.0),
+            layer_names=["a"],
+            candidates=(0, 1, 2, 4, 8, 16, 32),
+        )
+        lossless = make().search(tolerance=0.0)
+        lossy = make().search(tolerance=0.05)
+        assert lossy.speedup > lossless.speedup
+        assert lossy.accuracy < 0.9
+
+    def test_history_recorded(self):
+        searcher = ThresholdSearcher(
+            evaluate=synthetic_evaluate({"a": 1.0}, 100.0),
+            layer_names=["a"],
+            candidates=(0, 1, 2),
+        )
+        searcher.search()
+        assert len(searcher.history) >= 2
+
+    def test_zero_tolerance_never_drops_accuracy(self):
+        searcher = ThresholdSearcher(
+            evaluate=synthetic_evaluate({"a": 2.0, "b": 3.0}, 10.0),
+            layer_names=["a", "b"],
+            candidates=(0, 2, 8, 32),
+        )
+        best = searcher.search(tolerance=0.0)
+        assert best.accuracy == pytest.approx(0.9)
+
+
+class TestPareto:
+    def test_dominated_points_removed(self):
+        points = [
+            PruningPoint({}, accuracy=0.9, speedup=1.0),
+            PruningPoint({}, accuracy=0.9, speedup=1.2),  # dominates previous
+            PruningPoint({}, accuracy=0.8, speedup=1.1),  # dominated
+            PruningPoint({}, accuracy=0.7, speedup=1.5),
+        ]
+        frontier = pareto_frontier(points)
+        speedups = [p.speedup for p in frontier]
+        assert speedups == [1.2, 1.5]
+
+    def test_frontier_sorted_ascending_speedup(self):
+        points = [
+            PruningPoint({}, accuracy=0.5, speedup=2.0),
+            PruningPoint({}, accuracy=0.9, speedup=1.0),
+        ]
+        frontier = pareto_frontier(points)
+        assert [p.speedup for p in frontier] == [1.0, 2.0]

@@ -1,0 +1,108 @@
+"""Brick/lane statistics tests (repro.core.stats)."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import (
+    brick_stats,
+    lane_balance,
+    structural_speedup_bound,
+)
+from repro.hw.config import PAPER_CONFIG, small_config
+from repro.nn.activations import sparse_activations
+
+from conftest import make_conv_work
+
+
+class TestBrickStats:
+    def test_dense_array(self):
+        stats = brick_stats(np.ones((32, 4, 4)), brick_size=16)
+        assert stats.mean_nonzero == 16
+        assert stats.full_fraction == 1.0
+        assert stats.empty_fraction == 0.0
+        assert stats.zero_fraction == 0.0
+
+    def test_zero_fraction_consistent(self, rng):
+        a = sparse_activations((32, 8, 8), 0.45, rng)
+        stats = brick_stats(a)
+        assert stats.zero_fraction == pytest.approx((a == 0).mean(), abs=1e-9)
+
+    def test_histogram_sums_to_bricks(self, rng):
+        a = sparse_activations((16, 6, 6), 0.5, rng)
+        stats = brick_stats(a)
+        assert sum(stats.histogram.values()) == stats.num_bricks
+
+
+class TestStructuralBound:
+    def test_balanced_shape_has_no_penalty(self):
+        # i=256: 16 brick columns on 16 lanes — the paper's sweet spot.
+        assert structural_speedup_bound(3, 16, 16) == 1.0
+
+    def test_google_1x1_shallow_penalty(self):
+        # A 1x1 conv over 192 channels: 12 bricks on 16 lanes.
+        assert structural_speedup_bound(1, 12, 16) == pytest.approx(12 / 16)
+
+    def test_vgg_conv2_penalty(self):
+        # 3x3 over 64 channels: 36 bricks, busiest lane holds 3.
+        assert structural_speedup_bound(3, 4, 16) == pytest.approx(36 / 48)
+
+    def test_alex_conv2_group_penalty(self):
+        # 5x5 over 48-deep groups: 75 bricks, busiest lane holds 5.
+        assert structural_speedup_bound(5, 3, 16) == pytest.approx(75 / 80)
+
+
+class TestEncoderThroughput:
+    def test_deep_layers_have_ample_margin(self, rng):
+        """Section IV-B4's claim: windows take far longer than the 16
+        cycles the serial encoder needs per output brick."""
+        from repro.core.stats import encoder_throughput_margin
+
+        work, _ = make_conv_work(
+            rng, in_depth=64, in_y=8, in_x=8, num_filters=8, zero_fraction=0.44
+        )
+        assert encoder_throughput_margin(work, PAPER_CONFIG) > 1.0
+
+    def test_1x1_shallow_layers_are_the_tight_case(self, rng):
+        """google-style 1x1 reduce layers have short windows — the margin
+        shrinks toward (and below) one, showing where double-buffered
+        output bricks would matter."""
+        from repro.core.stats import encoder_throughput_margin
+
+        deep, _ = make_conv_work(
+            rng, in_depth=64, in_y=8, in_x=8, num_filters=8, zero_fraction=0.44
+        )
+        shallow, _ = make_conv_work(
+            rng, in_depth=32, in_y=8, in_x=8, num_filters=8, kernel=1, pad=0,
+            zero_fraction=0.44,
+        )
+        assert encoder_throughput_margin(shallow, PAPER_CONFIG) < (
+            encoder_throughput_margin(deep, PAPER_CONFIG)
+        )
+
+
+class TestLaneBalance:
+    def test_utilization_in_unit_interval(self, rng):
+        work, _ = make_conv_work(rng, zero_fraction=0.5)
+        stats = lane_balance(work, small_config())
+        assert 0.0 < stats.mean_lane_utilization <= 1.0
+
+    def test_dense_balanced_layer_fully_utilized(self, rng):
+        work, _ = make_conv_work(
+            rng, in_depth=16, kernel=2, pad=0, zero_fraction=0.0
+        )
+        stats = lane_balance(work, small_config())  # 4 bricks/col = 4 lanes
+        assert stats.mean_lane_utilization == pytest.approx(1.0)
+        assert stats.structural_bound == 1.0
+        assert stats.value_stall_fraction == 0.0
+
+    def test_sparser_input_lowers_utilization(self, rng):
+        cfg = PAPER_CONFIG
+        dense, _ = make_conv_work(
+            rng, in_depth=64, in_y=8, in_x=8, zero_fraction=0.0
+        )
+        sparse, _ = make_conv_work(
+            rng, in_depth=64, in_y=8, in_x=8, zero_fraction=0.6
+        )
+        u_dense = lane_balance(dense, cfg).mean_lane_utilization
+        u_sparse = lane_balance(sparse, cfg).mean_lane_utilization
+        assert u_sparse < u_dense + 1e-9

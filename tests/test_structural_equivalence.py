@@ -1,0 +1,200 @@
+"""Cross-validation: structural simulators vs golden model vs analytic timing.
+
+This is the load-bearing test file of the reproduction: it proves that
+
+1. both structural simulators compute the exact convolution outputs
+   (functional correctness, "on-the-fly validation" as in Section V-A);
+2. the closed-form timing models predict the structural simulators'
+   cycle counts exactly; and
+3. the Fig. 10 lane-event accounting agrees between the two levels.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baseline.accelerator import DaDianNaoNode
+from repro.baseline.timing import baseline_conv_timing
+from repro.baseline.workload import ConvWork
+from repro.core.accelerator import CnvNode
+from repro.core.timing import cnv_conv_timing
+from repro.hw.config import ArchConfig, small_config
+from repro.nn.activations import sparse_activations
+from repro.nn.layers import conv2d
+
+layer_cases = st.tuples(
+    st.sampled_from([4, 6, 8, 12]),  # depth
+    st.integers(4, 7),  # in_y
+    st.integers(4, 7),  # in_x
+    st.sampled_from([2, 3, 5]),  # filters
+    st.integers(1, 3),  # kernel
+    st.integers(1, 2),  # stride
+    st.integers(0, 1),  # pad
+    st.floats(0.0, 0.9),  # zero fraction
+)
+
+
+def _build(case, seed, groups=1):
+    depth, in_y, in_x, filters, kernel, stride, pad, zero_frac = case
+    rng = np.random.default_rng(seed)
+    out_y = (in_y - kernel + 2 * pad) // stride + 1
+    out_x = (in_x - kernel + 2 * pad) // stride + 1
+    if out_y <= 0 or out_x <= 0:
+        return None
+    act = sparse_activations((depth, in_y, in_x), zero_frac, rng, correlation=0.8)
+    weights = rng.normal(size=(filters, depth // groups, kernel, kernel))
+    geometry = {
+        "in_depth": depth, "in_y": in_y, "in_x": in_x, "num_filters": filters,
+        "kernel": kernel, "stride": stride, "pad": pad, "groups": groups,
+        "out_y": out_y, "out_x": out_x,
+    }
+    return ConvWork("t", geometry, act), weights
+
+
+class TestBaselineStructural:
+    @settings(max_examples=12, deadline=None)
+    @given(layer_cases, st.integers(0, 2**32 - 1))
+    def test_functional_and_cycles_match(self, case, seed):
+        built = _build(case, seed)
+        if built is None:
+            return
+        work, weights = built
+        cfg = small_config()
+        result = DaDianNaoNode(cfg).run_conv_layer(work, weights)
+        golden = conv2d(
+            work.activations, weights,
+            stride=work.geometry["stride"], pad=work.geometry["pad"],
+        )
+        assert np.allclose(result.output, golden)
+        assert result.cycles == baseline_conv_timing(work, cfg).cycles
+
+    def test_grouped_layer(self, rng):
+        built = _build((8, 6, 6, 4, 3, 1, 1, 0.4), 5, groups=2)
+        work, weights = built
+        cfg = small_config()
+        result = DaDianNaoNode(cfg).run_conv_layer(work, weights)
+        golden = conv2d(work.activations, weights, stride=1, pad=1, groups=2)
+        assert np.allclose(result.output, golden)
+        assert result.cycles == baseline_conv_timing(work, cfg).cycles
+
+    def test_row_packing_structural_matches_analytic(self, rng):
+        built = _build((6, 6, 6, 3, 3, 1, 0, 0.4), 41)  # depth 6: packing matters
+        work, weights = built
+        cfg = small_config().with_(fetch_packing="row")
+        result = DaDianNaoNode(cfg).run_conv_layer(work, weights)
+        golden = conv2d(work.activations, weights, stride=1, pad=0)
+        assert np.allclose(result.output, golden)
+        assert result.cycles == baseline_conv_timing(work, cfg).cycles
+
+    def test_multi_pass_filters(self, rng):
+        built = _build((4, 5, 5, 5, 2, 1, 0, 0.3), 9)  # 5 filters > 4/pass
+        work, weights = built
+        cfg = small_config()
+        result = DaDianNaoNode(cfg).run_conv_layer(work, weights)
+        golden = conv2d(work.activations, weights, stride=1, pad=0)
+        assert np.allclose(result.output, golden)
+        assert result.cycles == baseline_conv_timing(work, cfg).cycles
+
+
+class TestCnvStructural:
+    @settings(max_examples=12, deadline=None)
+    @given(layer_cases, st.integers(0, 2**32 - 1))
+    def test_functional_cycles_and_events_match(self, case, seed):
+        built = _build(case, seed)
+        if built is None:
+            return
+        work, weights = built
+        cfg = small_config()
+        node = CnvNode(cfg)
+        result = node.run_conv_layer(work, weights)
+        golden = conv2d(
+            work.activations, weights,
+            stride=work.geometry["stride"], pad=work.geometry["pad"],
+        )
+        assert np.allclose(result.output, golden)
+        analytic = cnv_conv_timing(work, cfg)
+        assert result.cycles == analytic.cycles
+        for category, expected in analytic.lane_events.items():
+            got = result.counters[f"lane_{category}"]
+            assert got == pytest.approx(expected), category
+
+    def test_first_layer_encoded_flag_structural(self, rng):
+        """With the per-layer software flag enabled, even an image-fed
+        layer runs through the encoded path — and still matches both the
+        golden model and the analytic cycles."""
+        built = _build((4, 5, 5, 2, 2, 1, 0, 0.5), 53)
+        work, weights = built
+        work = ConvWork(
+            name=work.name, geometry=work.geometry,
+            activations=work.activations, is_first=True,
+        )
+        cfg = small_config().with_(first_layer_encoded=True)
+        result = CnvNode(cfg).run_conv_layer(work, weights)
+        golden = conv2d(work.activations, weights, stride=1, pad=0)
+        assert np.allclose(result.output, golden)
+        assert result.cycles == cnv_conv_timing(work, cfg).cycles
+
+    def test_free_skip_ablation_matches(self, rng):
+        built = _build((8, 6, 6, 4, 2, 1, 0, 0.7), 3)
+        work, weights = built
+        cfg = small_config().with_(empty_brick_cycles=0)
+        result = CnvNode(cfg).run_conv_layer(work, weights)
+        golden = conv2d(work.activations, weights, stride=1, pad=0)
+        assert np.allclose(result.output, golden)
+        assert result.cycles == cnv_conv_timing(work, cfg).cycles
+
+    def test_grouped_layer(self, rng):
+        built = _build((8, 6, 6, 4, 3, 1, 1, 0.5), 11, groups=2)
+        work, weights = built
+        cfg = small_config()
+        result = CnvNode(cfg).run_conv_layer(work, weights)
+        golden = conv2d(work.activations, weights, stride=1, pad=1, groups=2)
+        assert np.allclose(result.output, golden)
+        assert result.cycles == cnv_conv_timing(work, cfg).cycles
+
+    def test_mults_and_sb_reads_match_analytic(self, rng):
+        built = _build((8, 5, 5, 4, 2, 1, 0, 0.5), 17)
+        work, weights = built
+        cfg = small_config()
+        result = CnvNode(cfg).run_conv_layer(work, weights)
+        analytic = cnv_conv_timing(work, cfg)
+        assert result.counters["mults"] == pytest.approx(analytic.counters["mults"])
+        assert result.counters["sb_reads"] == pytest.approx(
+            analytic.counters["sb_reads"]
+        )
+
+    def test_cnv_never_multiplies_zeros(self, rng):
+        """The defining property: every multiplication CNV performs has a
+        non-zero neuron operand."""
+        built = _build((8, 5, 5, 4, 3, 1, 1, 0.6), 23)
+        work, weights = built
+        cfg = small_config()
+        result = CnvNode(cfg).run_conv_layer(work, weights)
+        nonzero_lane_cycles = result.counters["lane_nonzero"] / cfg.num_units
+        assert result.counters["mults"] == (
+            nonzero_lane_cycles * cfg.num_units * cfg.filters_per_unit
+        )
+
+
+class TestArchitectureVariants:
+    @pytest.mark.parametrize(
+        "units,lanes,filters,brick",
+        [(1, 2, 2, 2), (2, 2, 4, 2), (4, 4, 2, 4), (1, 8, 1, 8)],
+    )
+    def test_other_geometries(self, rng, units, lanes, filters, brick):
+        cfg = ArchConfig(
+            num_units=units,
+            neuron_lanes=lanes,
+            filters_per_unit=filters,
+            brick_size=brick,
+        )
+        built = _build((8, 5, 5, 3, 2, 1, 0, 0.5), 31)
+        work, weights = built
+        base = DaDianNaoNode(cfg).run_conv_layer(work, weights)
+        cnv = CnvNode(cfg).run_conv_layer(work, weights)
+        golden = conv2d(work.activations, weights, stride=1, pad=0)
+        assert np.allclose(base.output, golden)
+        assert np.allclose(cnv.output, golden)
+        assert base.cycles == baseline_conv_timing(work, cfg).cycles
+        assert cnv.cycles == cnv_conv_timing(work, cfg).cycles

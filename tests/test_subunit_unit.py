@@ -1,0 +1,116 @@
+"""Subunit and CNV-unit tests (repro.core.subunit / repro.core.unit)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dispatcher import LaneSlot
+from repro.core.subunit import Subunit, build_subunit_sb
+from repro.core.unit import CnvUnit
+from repro.hw.config import ArchConfig
+
+
+def _cfg(lanes=2, filters=2, brick=4):
+    return ArchConfig(
+        num_units=1, neuron_lanes=lanes, filters_per_unit=filters, brick_size=brick
+    )
+
+
+class TestBuildSubunitSb:
+    def test_transposed_store_order(self):
+        """Section IV-B2: the SB store order is transposed per subunit so
+        the offset directly indexes the right synapse column."""
+        weights = np.arange(2 * 8 * 2 * 2, dtype=float).reshape(2, 8, 2, 2)
+        positions = [(0, 1, 0), (1, 0, 1)]  # (fy, fx, bz) bricks of this lane
+        sb = build_subunit_sb(weights, positions, brick_size=4)
+        assert sb.shape == (8, 2)
+        # Brick 0 (fy=0, fx=1, bz=0): column k holds weights[:, k, 0, 1].
+        for k in range(4):
+            assert np.array_equal(sb[k], weights[:, k, 0, 1])
+        # Brick 1 (fy=1, fx=0, bz=1): column k holds weights[:, 4+k, 1, 0].
+        for k in range(4):
+            assert np.array_equal(sb[4 + k], weights[:, 4 + k, 1, 0])
+
+    def test_depth_padding_zero_synapses(self):
+        weights = np.ones((1, 6, 1, 1))
+        sb = build_subunit_sb(weights, [(0, 0, 0), (0, 0, 1)], brick_size=4)
+        assert sb[5, 0] == 1.0  # z=5 real
+        assert sb[6, 0] == 0.0  # z=6 padding
+        assert sb[7, 0] == 0.0
+
+
+class TestSubunit:
+    def test_offset_selects_synapse_column(self):
+        cfg = _cfg()
+        sb = np.arange(8, dtype=float).reshape(4, 2)  # 1 brick block
+        sub = Subunit(cfg, sb)
+        products = sub.process(value=2.0, offset=3, seq=0)
+        assert list(products) == [12.0, 14.0]  # 2 * sb[3]
+
+    def test_seq_selects_brick_block(self):
+        cfg = _cfg()
+        sb = np.arange(16, dtype=float).reshape(8, 2)  # 2 brick blocks
+        sub = Subunit(cfg, sb)
+        products = sub.process(value=1.0, offset=1, seq=1)
+        assert list(products) == [10.0, 11.0]  # row 4+1
+
+    def test_offset_out_of_range(self):
+        sub = Subunit(_cfg(), np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            sub.process(1.0, offset=4, seq=0)
+
+    def test_activity_counted(self):
+        sub = Subunit(_cfg(), np.ones((4, 2)))
+        sub.process(1.0, 0, 0)
+        assert sub.counters["mults"] == 2
+        assert sub.counters["sb_reads"] == 1
+        assert sub.counters["offset_reads"] == 1
+
+
+class TestCnvUnit:
+    def _unit(self):
+        cfg = _cfg()
+        sbs = [np.ones((4, 2)), 2 * np.ones((4, 2))]
+        return CnvUnit(cfg, sbs), cfg
+
+    def test_accumulates_products_per_filter(self):
+        unit, _ = self._unit()
+        slots = [
+            LaneSlot(kind="pair", value=3.0, offset=0, seq=0),
+            LaneSlot(kind="pair", value=1.0, offset=2, seq=0),
+        ]
+        unit.consume(slots)
+        out = unit.window_outputs()
+        # filter sums: 3*1 + 1*2 = 5 per filter.
+        assert list(out) == [5.0, 5.0]
+
+    def test_stalled_lanes_contribute_nothing(self):
+        unit, _ = self._unit()
+        unit.consume([
+            LaneSlot(kind="pair", value=2.0, offset=1, seq=0),
+            LaneSlot(kind="idle"),
+        ])
+        assert list(unit.window_outputs()) == [2.0, 2.0]
+
+    def test_all_idle_cycle_touches_nothing(self):
+        unit, _ = self._unit()
+        unit.consume([LaneSlot(kind="idle"), LaneSlot(kind="bubble")])
+        assert unit.counters["mults"] == 0
+        assert unit.counters["nbout_writes"] == 0
+
+    def test_reset_window_clears_sums(self):
+        unit, _ = self._unit()
+        unit.consume([
+            LaneSlot(kind="pair", value=1.0, offset=0, seq=0),
+            LaneSlot(kind="idle"),
+        ])
+        unit.reset_window()
+        assert list(unit.window_outputs()) == [0.0, 0.0]
+
+    def test_requires_one_sb_per_lane(self):
+        with pytest.raises(ValueError):
+            CnvUnit(_cfg(), [np.ones((4, 2))])
+
+    def test_tick_requires_attachment(self):
+        unit, _ = self._unit()
+        with pytest.raises(RuntimeError):
+            unit.tick(0)

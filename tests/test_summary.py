@@ -1,0 +1,51 @@
+"""Headline-summary tests (repro.experiments.summary)."""
+
+from repro.experiments.report import ExperimentResult
+from repro.experiments.summary import headline_summary
+
+
+def _results():
+    return [
+        ExperimentResult(
+            experiment="fig1",
+            title="t",
+            rows=[{"network": "average", "zero_fraction": 0.45}],
+        ),
+        ExperimentResult(
+            experiment="fig9",
+            title="t",
+            rows=[{"network": "average", "CNV": 1.35, "CNV+Pruning": 1.44}],
+        ),
+        ExperimentResult(
+            experiment="fig11",
+            title="t",
+            rows=[{"component": "total", "delta": 0.0449}],
+        ),
+        ExperimentResult(
+            experiment="fig13",
+            title="t",
+            rows=[{"network": "average", "EDP_gain": 1.5, "ED2P_gain": 2.0}],
+        ),
+    ]
+
+
+class TestHeadlineSummary:
+    def test_all_claims_present_and_ok(self):
+        text = headline_summary(_results())
+        assert "mean CNV speedup" in text
+        assert "DEVIATES" not in text
+
+    def test_deviation_flagged(self):
+        results = _results()
+        results[1].rows[0]["CNV"] = 3.0  # implausible speedup
+        text = headline_summary(results)
+        assert "DEVIATES" in text
+
+    def test_empty_when_no_relevant_results(self):
+        only_table1 = [ExperimentResult(experiment="table1", title="t", rows=[{}])]
+        assert headline_summary(only_table1) == ""
+
+    def test_partial_results_fine(self):
+        text = headline_summary(_results()[:1])
+        assert "zero-neuron" in text
+        assert "EDP" not in text

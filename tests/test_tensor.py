@@ -1,0 +1,98 @@
+"""Fixed-point arithmetic tests (repro.nn.tensor)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nn.tensor import (
+    DEFAULT_FORMAT,
+    FixedPointFormat,
+    dequantize,
+    fixed_point_mac,
+    quantize,
+    rescale_accumulator,
+    saturate,
+)
+
+
+class TestFixedPointFormat:
+    def test_default_is_16_bit(self):
+        assert DEFAULT_FORMAT.total_bits == 16
+        assert DEFAULT_FORMAT.scale == 256
+
+    def test_ranges(self):
+        fmt = FixedPointFormat(total_bits=16, frac_bits=8)
+        assert fmt.raw_min == -32768
+        assert fmt.raw_max == 32767
+        assert fmt.min_value == -128.0
+        assert fmt.resolution == pytest.approx(1 / 256)
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=1, frac_bits=0)
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=8, frac_bits=8)
+
+    def test_frac_bits_zero_allowed(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=0)
+        assert fmt.scale == 1
+        assert fmt.resolution == 1.0
+
+
+class TestQuantize:
+    def test_roundtrip_on_representable_values(self):
+        values = np.array([0.0, 1.0, -1.0, 0.5, -0.5, 100.0])
+        assert np.allclose(dequantize(quantize(values)), values)
+
+    def test_rounding_to_nearest(self):
+        fmt = FixedPointFormat(total_bits=16, frac_bits=0)
+        assert quantize(np.array([0.4]), fmt)[0] == 0
+        assert quantize(np.array([0.6]), fmt)[0] == 1
+        assert quantize(np.array([-0.6]), fmt)[0] == -1
+
+    def test_ties_round_away_from_zero(self):
+        fmt = FixedPointFormat(total_bits=16, frac_bits=0)
+        assert quantize(np.array([0.5]), fmt)[0] == 1
+        assert quantize(np.array([-0.5]), fmt)[0] == -1
+
+    def test_saturation(self):
+        assert quantize(np.array([1e9]))[0] == DEFAULT_FORMAT.raw_max
+        assert quantize(np.array([-1e9]))[0] == DEFAULT_FORMAT.raw_min
+
+    def test_zero_stays_exactly_zero(self):
+        # Critical for CNV: quantization must not create or destroy zeros
+        # at the zero point itself.
+        assert quantize(np.array([0.0]))[0] == 0
+
+    @given(st.floats(min_value=-100, max_value=100))
+    def test_quantization_error_bounded(self, value):
+        err = abs(dequantize(quantize(np.array([value])))[0] - value)
+        assert err <= DEFAULT_FORMAT.resolution / 2 + 1e-12
+
+
+class TestSaturate:
+    def test_clamps_to_range(self):
+        raw = np.array([100000, -100000, 5])
+        out = saturate(raw)
+        assert list(out) == [32767, -32768, 5]
+
+
+class TestMac:
+    def test_product_widens(self):
+        n = quantize(np.array([2.0]))
+        s = quantize(np.array([3.0]))
+        acc = fixed_point_mac(n, s)
+        assert acc.dtype == np.int64
+        assert rescale_accumulator(acc)[0] == quantize(np.array([6.0]))[0]
+
+    def test_matches_float_mac_within_resolution(self, rng):
+        n = rng.uniform(-2, 2, size=32)
+        s = rng.uniform(-2, 2, size=32)
+        acc = fixed_point_mac(quantize(n), quantize(s)).sum()
+        got = rescale_accumulator(np.array([acc]))[0] / DEFAULT_FORMAT.scale
+        assert got == pytest.approx(float((n * s).sum()), abs=0.15)
+
+    def test_rescale_saturates(self):
+        big = np.array([2**40])
+        assert rescale_accumulator(big)[0] == DEFAULT_FORMAT.raw_max

@@ -1,0 +1,56 @@
+"""Timing aggregation tests (repro.hw.timing_types)."""
+
+import pytest
+
+from repro.hw.counters import ActivityCounters
+from repro.hw.timing_types import LayerTiming, NetworkTiming
+
+
+def _layer(name, kind, cycles, events, counts=None):
+    counters = ActivityCounters()
+    for key, value in (counts or {}).items():
+        counters.add(key, value)
+    return LayerTiming(
+        name=name, kind=kind, cycles=cycles, lane_events=events, counters=counters
+    )
+
+
+class TestLayerTiming:
+    def test_rejects_unknown_category(self):
+        with pytest.raises(ValueError):
+            _layer("x", "conv", 1, {"bogus": 1.0})
+
+
+class TestNetworkTiming:
+    def _net(self):
+        return NetworkTiming(
+            network="t",
+            architecture="dadiannao",
+            layers=[
+                _layer("conv1", "conv", 100, {"conv1": 400.0}, {"mults": 10}),
+                _layer("conv2", "conv", 50, {"nonzero": 150.0, "zero": 50.0}, {"mults": 5}),
+                _layer("pool", "maxpool", 10, {"other": 40.0}),
+            ],
+        )
+
+    def test_totals(self):
+        net = self._net()
+        assert net.total_cycles == 160
+        assert net.conv_cycles == 150
+
+    def test_lane_events_merged(self):
+        events = self._net().lane_events()
+        assert events["conv1"] == 400.0
+        assert events["nonzero"] == 150.0
+        assert events["stall"] == 0.0
+
+    def test_counters_merged_with_cycles(self):
+        counters = self._net().counters()
+        assert counters["mults"] == 15
+        assert counters["cycles"] == 160
+
+    def test_seconds(self):
+        assert self._net().seconds(1.0) == pytest.approx(160e-9)
+
+    def test_cycles_by_layer(self):
+        assert self._net().cycles_by_layer()["conv2"] == 50

@@ -1,0 +1,92 @@
+"""Trainer tests (repro.nn.training): gradients, learning, export."""
+
+import numpy as np
+import pytest
+
+from repro.nn.datasets import NUM_SHAPE_CLASSES, ShapeDataset
+from repro.nn.inference import run_forward
+from repro.nn.training import SmallCNN, train_small_cnn
+
+
+class TestGradients:
+    def _numeric_grad(self, model, x, labels, param, index, eps=1e-5):
+        flat = param.reshape(-1)
+        orig = flat[index]
+        flat[index] = orig + eps
+
+        def loss():
+            logits = model.forward(x)
+            shifted = logits - logits.max(axis=1, keepdims=True)
+            probs = np.exp(shifted) / np.exp(shifted).sum(axis=1, keepdims=True)
+            return -np.log(probs[np.arange(len(labels)), labels] + 1e-12).mean()
+
+        up = loss()
+        flat[index] = orig - eps
+        down = loss()
+        flat[index] = orig
+        return (up - down) / (2 * eps)
+
+    @pytest.mark.parametrize("layer_name", ["conv1", "conv2", "conv3", "fc"])
+    def test_backprop_matches_numeric(self, layer_name, rng):
+        model = SmallCNN(num_classes=4, seed=3, input_size=8)
+        x = rng.normal(size=(3, 1, 8, 8))
+        labels = np.array([0, 2, 3])
+        logits = model.forward(x)
+        model.loss_and_backward(logits, labels)
+        layer = getattr(model, layer_name)
+        analytic = layer.dw.reshape(-1)
+        for index in [0, analytic.size // 2, analytic.size - 1]:
+            numeric = self._numeric_grad(model, x, labels, layer.w, index)
+            assert analytic[index] == pytest.approx(numeric, rel=1e-3, abs=1e-6)
+
+    def test_bias_gradients(self, rng):
+        model = SmallCNN(num_classes=4, seed=3, input_size=8)
+        x = rng.normal(size=(2, 1, 8, 8))
+        labels = np.array([1, 3])
+        logits = model.forward(x)
+        model.loss_and_backward(logits, labels)
+        numeric = self._numeric_grad(model, x, labels, model.fc.b, 0)
+        assert model.fc.db[0] == pytest.approx(numeric, rel=1e-3, abs=1e-6)
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        result = train_small_cnn(train_count=128, test_count=64, epochs=2)
+        first = np.mean(result.losses[:4])
+        last = np.mean(result.losses[-4:])
+        assert last < first
+
+    def test_learns_above_chance(self):
+        result = train_small_cnn(train_count=256, test_count=128, epochs=3)
+        chance = 1.0 / NUM_SHAPE_CLASSES
+        assert result.test_accuracy > 3 * chance
+
+    def test_deterministic_given_seed(self):
+        a = train_small_cnn(train_count=64, test_count=32, epochs=1, seed=5)
+        b = train_small_cnn(train_count=64, test_count=32, epochs=1, seed=5)
+        assert a.test_accuracy == b.test_accuracy
+
+
+class TestExport:
+    def test_engine_matches_trainer_forward(self, rng):
+        """The exported Network/WeightStore must reproduce the trainer's
+        own logits — the bridge that lets the accelerator simulators run
+        the trained classifier."""
+        result = train_small_cnn(train_count=64, test_count=32, epochs=1)
+        dataset = ShapeDataset()
+        images, _ = dataset.batch(4, seed=99)
+        for image in images:
+            trainer_logits = result.model.forward(image[np.newaxis])[0]
+            engine_logits = run_forward(
+                result.network, result.store, image, keep_outputs=False
+            ).logits
+            assert np.allclose(trainer_logits, engine_logits, atol=1e-9)
+
+    def test_exported_conv_inputs_available(self):
+        result = train_small_cnn(train_count=64, test_count=32, epochs=1)
+        dataset = ShapeDataset()
+        images, _ = dataset.batch(1, seed=98)
+        fwd = run_forward(result.network, result.store, images[0])
+        assert set(fwd.conv_inputs) == {"conv1", "conv2", "conv3"}
+        # conv2 input is post-ReLU: sparse, the substrate pruning exploits.
+        assert (fwd.conv_inputs["conv2"] == 0).mean() > 0.1

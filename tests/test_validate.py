@@ -1,0 +1,52 @@
+"""On-the-fly validation harness tests (repro.core.validate)."""
+
+import numpy as np
+import pytest
+
+from repro.core.validate import validate_network
+from repro.nn.datasets import natural_images
+from repro.nn.inference import init_weights
+from repro.nn.models import build_network
+from repro.nn.training import train_small_cnn
+
+
+class TestValidateNetwork:
+    def test_alexnet_layers_validate(self):
+        net = build_network("alex", input_size=67)
+        store = init_weights(net, np.random.default_rng(3))
+        image = natural_images(net.input_shape, 1, seed=4)[0]
+        report = validate_network(net, store, image, max_spatial=6, max_filters=4)
+        assert len(report.layers) == 5
+        assert report.all_passed, report.summary()
+
+    def test_trained_small_cnn_validates(self):
+        result = train_small_cnn(train_count=64, test_count=32, epochs=1)
+        from repro.nn.datasets import ShapeDataset
+
+        images, _ = ShapeDataset().batch(1, seed=7)
+        report = validate_network(
+            result.network, result.store, images[0], max_spatial=8
+        )
+        assert report.all_passed, report.summary()
+        # Encoded layers actually sped up on real activations.
+        non_first = report.layers[1:]
+        assert any(lv.speedup > 1.0 for lv in non_first)
+
+    def test_layer_subset(self):
+        net = build_network("alex", input_size=67)
+        store = init_weights(net, np.random.default_rng(3))
+        image = natural_images(net.input_shape, 1, seed=4)[0]
+        report = validate_network(
+            net, store, image, layers=["conv3"], max_spatial=5, max_filters=2
+        )
+        assert [lv.layer for lv in report.layers] == ["conv3"]
+
+    def test_summary_format(self):
+        net = build_network("alex", input_size=67)
+        store = init_weights(net, np.random.default_rng(3))
+        image = natural_images(net.input_shape, 1, seed=4)[0]
+        report = validate_network(
+            net, store, image, layers=["conv2"], max_spatial=5, max_filters=4
+        )
+        text = report.summary()
+        assert "conv2" in text and "ok" in text

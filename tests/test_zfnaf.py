@@ -1,0 +1,108 @@
+"""ZFNAf format tests (repro.core.zfnaf)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.zfnaf import ZfnafArray, decode, decode_brick, encode, encode_brick
+from repro.nn.activations import sparse_activations
+
+
+class TestEncodeBrick:
+    def test_paper_example(self):
+        """Section III-C: (1,0,0,3) encodes as ((1,0),(3,3))."""
+        values, offsets = encode_brick(np.array([1.0, 0.0, 0.0, 3.0]))
+        assert list(values) == [1.0, 3.0]
+        assert list(offsets) == [0, 3]
+
+    def test_all_zero_brick(self):
+        values, offsets = encode_brick(np.zeros(16))
+        assert values.size == 0 and offsets.size == 0
+
+    def test_dense_brick(self):
+        values, offsets = encode_brick(np.arange(1, 17, dtype=float))
+        assert list(offsets) == list(range(16))
+
+    def test_decode_brick_roundtrip(self):
+        brick = np.array([0.0, 2.0, 0.0, -1.0])
+        values, offsets = encode_brick(brick)
+        assert np.array_equal(decode_brick(values, offsets, 4), brick)
+
+    def test_decode_brick_offset_out_of_range(self):
+        with pytest.raises(ValueError):
+            decode_brick(np.array([1.0]), np.array([4]), 4)
+
+
+class TestEncodeArray:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(1, 40),  # depth
+        st.integers(1, 6),  # height
+        st.integers(1, 6),  # width
+        st.sampled_from([4, 8, 16]),
+        st.floats(0.0, 0.9),
+        st.integers(0, 2**32 - 1),
+    )
+    def test_roundtrip(self, depth, height, width, brick, zero_frac, seed):
+        rng = np.random.default_rng(seed)
+        a = sparse_activations((depth, height, width), zero_frac, rng, correlation=0.5)
+        z = encode(a, brick_size=brick)
+        assert np.allclose(decode(z), a)
+
+    def test_counts_match_nonzeros(self, rng):
+        a = sparse_activations((32, 5, 5), 0.5, rng)
+        z = encode(a)
+        assert z.total_nonzero == int((a != 0).sum())
+
+    def test_brick_accessor_direct_indexing(self, rng):
+        """Brick-granularity indexing from coordinates — the property ZFNAf
+        keeps and CSR gives up (Section IV-B1)."""
+        a = sparse_activations((32, 4, 4), 0.5, rng)
+        z = encode(a)
+        values, offsets = z.brick(2, 3, 1)
+        expected = a[16:32, 2, 3]
+        rebuilt = np.zeros(16)
+        rebuilt[offsets] = values
+        assert np.array_equal(rebuilt, expected)
+
+    def test_offsets_strictly_increasing_within_brick(self, rng):
+        a = sparse_activations((16, 3, 3), 0.4, rng)
+        z = encode(a)
+        for y in range(3):
+            for x in range(3):
+                _, offsets = z.brick(y, x, 0)
+                assert np.all(np.diff(offsets) > 0)
+
+    def test_depth_padding(self):
+        a = np.ones((5, 2, 2))  # depth 5 pads to one brick of 16
+        z = encode(a, brick_size=16)
+        assert z.bricks_per_column == 1
+        assert z.total_nonzero == 5 * 4
+        assert np.allclose(decode(z), a)
+
+    def test_storage_overhead_is_25_percent(self, rng):
+        """16-bit values + 4-bit offsets: +25% NM capacity (Section IV-B1)."""
+        a = sparse_activations((32, 4, 4), 0.5, rng)
+        z = encode(a, brick_size=16)
+        assert z.storage_bits() == int(z.dense_storage_bits() * 1.25)
+
+    def test_no_footprint_savings_even_when_sparse(self, rng):
+        """ZFNAf reserves every slot regardless of sparsity."""
+        dense = encode(np.ones((16, 4, 4)))
+        sparse = encode(np.zeros((16, 4, 4)))
+        assert dense.storage_bits() == sparse.storage_bits()
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            encode(np.ones((4, 4)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ZfnafArray(
+                values=np.zeros((2, 2, 1, 4)),
+                offsets=np.zeros((2, 2, 1, 3)),
+                counts=np.zeros((2, 2, 1)),
+                brick_size=4,
+                original_depth=4,
+            )
