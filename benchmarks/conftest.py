@@ -9,6 +9,13 @@ come from the environment:
 
 ``CNVLUTIN_BENCH_SCALE``     tiny (default) | reduced | full
 ``CNVLUTIN_BENCH_NETWORKS``  comma-separated subset of the six networks
+``CNVLUTIN_BENCH_JOBS``      when > 1, prewarm the content-addressed
+                             artifact cache on a process pool before the
+                             first benchmark (one work unit per
+                             (experiment, network) pair), so a full bench
+                             session spends its time measuring the
+                             experiment assembly rather than recomputing
+                             forwards serially.
 """
 
 from __future__ import annotations
@@ -30,9 +37,23 @@ def bench_config() -> PaperConfig:
     return PaperConfig(**kwargs)
 
 
+def bench_jobs() -> int:
+    try:
+        return int(os.environ.get("CNVLUTIN_BENCH_JOBS", "1"))
+    except ValueError:
+        return 1
+
+
 @pytest.fixture(scope="session")
 def ctx() -> ExperimentContext:
-    return ExperimentContext(bench_config())
+    config = bench_config()
+    jobs = bench_jobs()
+    if jobs > 1:
+        from repro.experiments.parallel import execute_units, plan_units
+        from repro.experiments.runner import EXPERIMENTS
+
+        execute_units(config, plan_units(config, list(EXPERIMENTS)), jobs=jobs)
+    return ExperimentContext(config)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

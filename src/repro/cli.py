@@ -12,10 +12,11 @@ Two subcommands:
     simulators run and are checked against the analytic models.
 
 ``network``
-    Calibrate one of the six paper networks and print its per-layer
-    baseline/CNV cycles::
+    Calibrate paper networks and print their per-layer baseline/CNV
+    cycles; several networks compute in parallel with ``--jobs``::
 
         cnvlutin-sim network alex --scale reduced
+        cnvlutin-sim network alex nin cnnS --jobs 3
 
 Architecture knobs (``--units``, ``--lanes``, ``--filters-per-unit``,
 ``--brick-size``, ``--free-empty-bricks``) apply to both subcommands.
@@ -123,24 +124,36 @@ def _run_network(args) -> int:
     from repro.experiments.context import ExperimentContext
 
     arch = _arch_from_args(args)
-    config = PaperConfig(scale=args.scale, networks=[args.name])
+    names = args.name
+    config = PaperConfig(scale=args.scale, networks=list(names))
+    if args.jobs > 1 and len(names) > 1:
+        # Warm the shared artifact cache with one timing unit per network
+        # on a process pool; the serial printing loop below then only
+        # reads cached timing summaries.
+        from repro.experiments.parallel import WorkUnit, execute_units
+
+        units = [WorkUnit("timings", name, kind="timings") for name in names]
+        execute_units(config, units, jobs=args.jobs, arch=arch)
     ctx = ExperimentContext(config, arch=arch)
-    base = ctx.baseline_timing(args.name)
-    cnv = ctx.cnv_timing(args.name)
-    cnv_by = cnv.cycles_by_layer()
-    rows = []
-    for layer in base.layers:
-        cnv_c = cnv_by.get(layer.name, layer.cycles)
-        rows.append({
-            "layer": layer.name,
-            "kind": layer.kind,
-            "baseline": layer.cycles,
-            "cnv": cnv_c,
-            "speedup": layer.cycles / cnv_c if cnv_c else float("inf"),
-        })
-    print(format_table(rows))
-    print(f"\ntotal speedup: {base.total_cycles / cnv.total_cycles:.3f}x "
-          f"({args.name} @ {args.scale} scale)")
+    for name in names:
+        base = ctx.baseline_timing(name)
+        cnv = ctx.cnv_timing(name)
+        cnv_by = cnv.cycles_by_layer()
+        rows = []
+        for layer in base.layers:
+            cnv_c = cnv_by.get(layer.name, layer.cycles)
+            rows.append({
+                "layer": layer.name,
+                "kind": layer.kind,
+                "baseline": layer.cycles,
+                "cnv": cnv_c,
+                "speedup": layer.cycles / cnv_c if cnv_c else float("inf"),
+            })
+        print(format_table(rows))
+        print(f"\ntotal speedup: {base.total_cycles / cnv.total_cycles:.3f}x "
+              f"({name} @ {args.scale} scale)")
+        if name != names[-1]:
+            print()
     return 0
 
 
@@ -164,9 +177,16 @@ def main(argv: list[str] | None = None) -> int:
     _add_arch_args(layer)
     layer.set_defaults(func=_run_layer)
 
-    network = sub.add_parser("network", help="per-layer timing of a paper network")
-    network.add_argument("name", choices=["alex", "google", "nin", "vgg19", "cnnM", "cnnS"])
+    network = sub.add_parser("network", help="per-layer timing of paper networks")
+    network.add_argument(
+        "name", nargs="+",
+        choices=["alex", "google", "nin", "vgg19", "cnnM", "cnnS"],
+    )
     network.add_argument("--scale", default="reduced", choices=["tiny", "reduced", "full"])
+    network.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes to compute several networks' timings in parallel",
+    )
     _add_arch_args(network)
     network.set_defaults(func=_run_network)
 

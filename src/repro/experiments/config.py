@@ -50,6 +50,9 @@ class PaperConfig:
     num_images: int | None = None
     cache_dir: Path = field(default_factory=default_cache_dir)
     use_cache: bool = True
+    #: Include the trained-small-CNN greedy search in fig14 (the costliest
+    #: network-independent work unit; CI and the golden test disable it).
+    smallcnn: bool = True
 
     def __post_init__(self) -> None:
         if self.scale not in SCALES:

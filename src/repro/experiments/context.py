@@ -2,9 +2,14 @@
 
 Building a paper figure needs the same expensive artifacts over and over —
 a calibrated network, forward passes, baseline/CNV timings.  The
-:class:`ExperimentContext` builds each once and caches it (calibration
-shifts and timing summaries also persist to the on-disk JSON cache so
-benchmark processes don't recalibrate).
+:class:`ExperimentContext` builds each once and caches it in memory, and
+persists every *derived* artifact (calibration shifts, sparsity reports,
+timing summaries, position statistics) to the content-addressed
+:class:`~repro.experiments.manifest.ArtifactCache` so parallel workers
+and later processes never recompute what any prior process already
+produced.  Raw forward activations are deliberately not persisted (they
+are large and cheap to avoid: every consumer reads a small derived
+artifact instead).
 """
 
 from __future__ import annotations
@@ -16,7 +21,10 @@ import numpy as np
 from repro.baseline.timing import baseline_network_timing
 from repro.core.timing import cnv_network_timing
 from repro.experiments.config import PaperConfig
+from repro.experiments.manifest import ArtifactCache, config_fingerprint
 from repro.hw.config import PAPER_CONFIG, ArchConfig
+from repro.hw.counters import ActivityCounters
+from repro.hw.timing_types import LayerTiming, NetworkTiming
 from repro.nn.calibration import (
     PAPER_ZERO_FRACTIONS,
     SparsityReport,
@@ -28,7 +36,13 @@ from repro.nn.inference import ForwardResult, WeightStore, init_weights, run_for
 from repro.nn.models import build_network
 from repro.nn.network import Network
 
-__all__ = ["NetworkContext", "ExperimentContext", "thresholds_key"]
+__all__ = [
+    "NetworkContext",
+    "ExperimentContext",
+    "thresholds_key",
+    "timing_to_payload",
+    "timing_from_payload",
+]
 
 
 def thresholds_key(thresholds: dict[str, float] | None) -> tuple:
@@ -36,6 +50,63 @@ def thresholds_key(thresholds: dict[str, float] | None) -> tuple:
     if not thresholds:
         return ()
     return tuple(sorted((k, float(v)) for k, v in thresholds.items() if v))
+
+
+def timing_to_payload(timing: NetworkTiming) -> dict:
+    """JSON-safe rendering of a NetworkTiming (exact float round-trip)."""
+    return {
+        "network": timing.network,
+        "architecture": timing.architecture,
+        "layers": [
+            {
+                "name": layer.name,
+                "kind": layer.kind,
+                "cycles": layer.cycles,
+                "lane_events": dict(layer.lane_events),
+                "counters": dict(layer.counters.counts),
+            }
+            for layer in timing.layers
+        ],
+    }
+
+
+def timing_from_payload(payload: dict) -> NetworkTiming:
+    layers = []
+    for entry in payload["layers"]:
+        counters = ActivityCounters()
+        counters.counts.update(entry["counters"])
+        layers.append(
+            LayerTiming(
+                name=entry["name"],
+                kind=entry["kind"],
+                cycles=entry["cycles"],
+                lane_events=dict(entry["lane_events"]),
+                counters=counters,
+            )
+        )
+    return NetworkTiming(
+        network=payload["network"],
+        architecture=payload["architecture"],
+        layers=layers,
+    )
+
+
+def _sparsity_to_payload(report: SparsityReport) -> dict:
+    return {
+        "network": report.network,
+        "per_layer": dict(report.per_layer),
+        "mac_weighted_mean": report.mac_weighted_mean,
+        "per_image_means": list(report.per_image_means),
+    }
+
+
+def _sparsity_from_payload(payload: dict) -> SparsityReport:
+    return SparsityReport(
+        network=payload["network"],
+        per_layer=dict(payload["per_layer"]),
+        mac_weighted_mean=payload["mac_weighted_mean"],
+        per_image_means=list(payload["per_image_means"]),
+    )
 
 
 @dataclass
@@ -51,22 +122,53 @@ class NetworkContext:
 class ExperimentContext:
     """Lazily builds and caches everything the experiment modules share."""
 
-    def __init__(self, config: PaperConfig | None = None, arch: ArchConfig = PAPER_CONFIG):
+    def __init__(
+        self,
+        config: PaperConfig | None = None,
+        arch: ArchConfig = PAPER_CONFIG,
+        artifacts: ArtifactCache | None = None,
+    ):
         self.config = config if config is not None else PaperConfig()
         self.arch = arch
+        self.artifacts = (
+            artifacts
+            if artifacts is not None
+            else ArtifactCache(
+                self.config.cache_dir,
+                config_fingerprint(self.config, arch),
+                enabled=self.config.use_cache,
+            )
+        )
         self._networks: dict[str, NetworkContext] = {}
+        self._structures: dict[str, Network] = {}
         self._forwards: dict[tuple, ForwardResult] = {}
         self._baseline_timings: dict[str, object] = {}
         self._cnv_timings: dict[tuple, object] = {}
         self._sparsity: dict[str, SparsityReport] = {}
+        self._position_stats: dict[str, dict[str, float]] = {}
 
     # ------------------------------------------------------------------
     # network construction and calibration
     # ------------------------------------------------------------------
+    def network_structure(self, name: str) -> Network:
+        """The layer structure only — no weights, images, or calibration.
+
+        Consumers that just need layer names/counts (table1, threshold
+        grouping, conv1 shares) use this so a cache-warm assembly pass
+        never pays for weight initialization.
+        """
+        if name in self._networks:
+            return self._networks[name].network
+        if name not in self._structures:
+            self._structures[name] = build_network(
+                name, input_size=self.config.input_size(name)
+            )
+        return self._structures[name]
+
     def network_ctx(self, name: str) -> NetworkContext:
         if name in self._networks:
             return self._networks[name]
-        network = build_network(name, input_size=self.config.input_size(name))
+        network = self.network_structure(name)
         rng = np.random.default_rng(self.config.seed)
         store = init_weights(network, rng)
         images = natural_images(
@@ -79,7 +181,7 @@ class ExperimentContext:
         store.biases = {k: v.astype(np.float32) for k, v in store.biases.items()}
         images = [img.astype(np.float32) for img in images]
 
-        cached = self.config.cache_load("calib", name)
+        cached = self.artifacts.load("calib", network=name)
         if cached is not None:
             store.shifts = {
                 k: np.asarray(v) if isinstance(v, list) else float(v)
@@ -92,13 +194,13 @@ class ExperimentContext:
                 images[: min(3, len(images))],
                 mean_target=PAPER_ZERO_FRACTIONS.get(name, 0.44),
             )
-            self.config.cache_store(
+            self.artifacts.store(
                 "calib",
-                name,
                 {
                     k: (v.tolist() if isinstance(v, np.ndarray) else v)
                     for k, v in store.shifts.items()
                 },
+                network=name,
             )
 
         ctx = NetworkContext(name=name, network=network, store=store, images=images)
@@ -134,11 +236,17 @@ class ExperimentContext:
     def baseline_timing(self, name: str):
         """Baseline NetworkTiming (value-independent; computed once)."""
         if name not in self._baseline_timings:
-            ctx = self.network_ctx(name)
-            fwd = self.forward(name, 0)
-            self._baseline_timings[name] = baseline_network_timing(
-                ctx.network, fwd.conv_inputs, self.arch
-            )
+            payload = self.artifacts.load("baseline_timing", network=name)
+            if payload is not None:
+                self._baseline_timings[name] = timing_from_payload(payload)
+            else:
+                ctx = self.network_ctx(name)
+                fwd = self.forward(name, 0)
+                timing = baseline_network_timing(ctx.network, fwd.conv_inputs, self.arch)
+                self.artifacts.store(
+                    "baseline_timing", timing_to_payload(timing), network=name
+                )
+                self._baseline_timings[name] = timing
         return self._baseline_timings[name]
 
     def cnv_timing(
@@ -151,9 +259,19 @@ class ExperimentContext:
         key = (name, thresholds_key(thresholds), image_index)
         if key in self._cnv_timings:
             return self._cnv_timings[key]
-        ctx = self.network_ctx(name)
-        fwd = self.forward(name, image_index, thresholds=thresholds)
-        timing = cnv_network_timing(ctx.network, fwd.conv_inputs, self.arch)
+        params = {
+            "network": name,
+            "thresholds": [list(item) for item in thresholds_key(thresholds)],
+            "image_index": image_index,
+        }
+        payload = self.artifacts.load("cnv_timing", **params)
+        if payload is not None:
+            timing = timing_from_payload(payload)
+        else:
+            ctx = self.network_ctx(name)
+            fwd = self.forward(name, image_index, thresholds=thresholds)
+            timing = cnv_network_timing(ctx.network, fwd.conv_inputs, self.arch)
+            self.artifacts.store("cnv_timing", timing_to_payload(timing), **params)
         self._cnv_timings[key] = timing
         return timing
 
@@ -185,11 +303,63 @@ class ExperimentContext:
     def sparsity(self, name: str) -> SparsityReport:
         """Fig. 1 statistics over all configured images."""
         if name not in self._sparsity:
-            ctx = self.network_ctx(name)
-            self._sparsity[name] = measure_zero_fractions(
-                ctx.network, ctx.store, ctx.images
-            )
+            payload = self.artifacts.load("sparsity", network=name)
+            if payload is not None:
+                self._sparsity[name] = _sparsity_from_payload(payload)
+            else:
+                ctx = self.network_ctx(name)
+                report = measure_zero_fractions(ctx.network, ctx.store, ctx.images)
+                self.artifacts.store("sparsity", _sparsity_to_payload(report), network=name)
+                self._sparsity[name] = report
         return self._sparsity[name]
+
+    def position_stats(self, name: str) -> dict[str, float]:
+        """Per-position zero statistics across the sampled inputs.
+
+        The fraction of (non-first-layer) conv-input neuron positions that
+        are zero on *every* sampled image, and on at least all-but-one —
+        the Section II argument that static elimination cannot work.
+        """
+        if name in self._position_stats:
+            return self._position_stats[name]
+        payload = self.artifacts.load("position_stats", network=name)
+        if payload is None:
+            payload = self._compute_position_stats(name)
+            self.artifacts.store("position_stats", payload, network=name)
+        self._position_stats[name] = payload
+        return payload
+
+    def _compute_position_stats(self, name: str) -> dict[str, float]:
+        nctx = self.network_ctx(name)
+        total_images = len(nctx.images)
+        if total_images < 2:
+            # "Always zero across inputs" is vacuous with a single input.
+            return {"always_zero": float("nan"), "near_always_zero": float("nan")}
+        zero_counts: dict[str, np.ndarray] = {}
+        for index in range(total_images):
+            result = self.forward(name, index)
+            for layer, arr in result.conv_inputs.items():
+                mask = (arr == 0.0).astype(np.int32)
+                if layer in zero_counts:
+                    zero_counts[layer] += mask
+                else:
+                    zero_counts[layer] = mask
+        always = 0
+        near_always = 0
+        positions = 0
+        first = nctx.network.first_conv_layers()
+        for layer, counts in zero_counts.items():
+            if layer in first:
+                continue  # image pixels, as in the paper's neuron statistics
+            positions += counts.size
+            always += int((counts == total_images).sum())
+            near_always += int((counts >= max(total_images - 1, 1)).sum())
+        if positions == 0:
+            return {"always_zero": 0.0, "near_always_zero": 0.0}
+        return {
+            "always_zero": always / positions,
+            "near_always_zero": near_always / positions,
+        }
 
     def logits(
         self,

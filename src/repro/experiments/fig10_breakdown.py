@@ -19,7 +19,7 @@ def conv1_runtime_share(ctx: ExperimentContext, name: str) -> float:
     """First-layer share of baseline runtime (Section V-B quotes google at
     35% vs a 21% average — part of why google speeds up least)."""
     timing = ctx.baseline_timing(name)
-    first = ctx.network_ctx(name).network.first_conv_layers()
+    first = ctx.network_structure(name).first_conv_layers()
     conv1_cycles = sum(l.cycles for l in timing.layers if l.name in first)
     return conv1_cycles / timing.total_cycles
 

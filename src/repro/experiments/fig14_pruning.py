@@ -119,8 +119,30 @@ def smallcnn_tradeoff(
     """Run the real greedy search on the trained small CNN.
 
     Returns one operating point per tolerance (relative accuracy drop).
+    The full search (training + greedy exploration) is the costliest
+    network-independent unit of the harness, so its operating points are
+    persisted in the content-addressed artifact cache.
     """
+    from dataclasses import asdict
+
     from repro.nn.training import train_small_cnn
+
+    params = {
+        "tolerances": list(tolerances),
+        "epochs": epochs,
+        "train_count": train_count,
+        "arch": asdict(SMALLCNN_ARCH),
+    }
+    cached = ctx.artifacts.load("smallcnn_tradeoff", **params)
+    if cached is not None:
+        return [
+            PruningPoint(
+                raw_thresholds={k: int(v) for k, v in p["raw_thresholds"].items()},
+                accuracy=p["accuracy"],
+                speedup=p["speedup"],
+            )
+            for p in cached
+        ]
 
     result = train_small_cnn(
         train_count=train_count, epochs=epochs, seed=ctx.config.seed
@@ -129,14 +151,29 @@ def smallcnn_tradeoff(
     searcher = ThresholdSearcher(
         evaluate=evaluator, layer_names=evaluator.prunable_layers
     )
-    return searcher.sweep(list(tolerances))
+    points = searcher.sweep(list(tolerances))
+    ctx.artifacts.store(
+        "smallcnn_tradeoff",
+        [
+            {
+                "raw_thresholds": p.raw_thresholds,
+                "accuracy": p.accuracy,
+                "speedup": p.speedup,
+            }
+            for p in points
+        ],
+        **params,
+    )
+    return points
 
 
 def run(
     ctx: ExperimentContext,
     deltas: tuple[float, ...] = DEFAULT_DELTAS,
-    include_smallcnn: bool = True,
+    include_smallcnn: bool | None = None,
 ) -> ExperimentResult:
+    if include_smallcnn is None:
+        include_smallcnn = ctx.config.smallcnn
     rows = []
     for name in ctx.config.networks:
         for point in sweep_deltas(ctx, name, deltas):

@@ -13,7 +13,6 @@ import numpy as np
 from repro.experiments.context import ExperimentContext
 from repro.experiments.report import ExperimentResult
 from repro.nn.calibration import PAPER_ZERO_FRACTIONS
-from repro.nn.inference import run_forward
 
 __all__ = ["run", "position_stats"]
 
@@ -23,39 +22,10 @@ def position_stats(ctx: ExperimentContext, name: str) -> dict[str, float]:
 
     Returns the fraction of conv-input neuron positions that are zero on
     *every* sampled image and the fraction zero on at least all-but-one —
-    the Section II argument that static elimination cannot work.
+    the Section II argument that static elimination cannot work.  The
+    computation (and its on-disk caching) lives on the context.
     """
-    nctx = ctx.network_ctx(name)
-    zero_counts: dict[str, np.ndarray] = {}
-    total_images = len(nctx.images)
-    if total_images < 2:
-        # "Always zero across inputs" is vacuous with a single input.
-        return {"always_zero": float("nan"), "near_always_zero": float("nan")}
-    for image in nctx.images:
-        result = run_forward(
-            nctx.network, nctx.store, image, collect_conv_inputs=True, keep_outputs=False
-        )
-        for layer, arr in result.conv_inputs.items():
-            mask = (arr == 0.0).astype(np.int32)
-            if layer in zero_counts:
-                zero_counts[layer] += mask
-            else:
-                zero_counts[layer] = mask
-    always = 0
-    near_always = 0
-    positions = 0
-    for layer, counts in zero_counts.items():
-        if layer in nctx.network.first_conv_layers():
-            continue  # image pixels, as in the paper's neuron statistics
-        positions += counts.size
-        always += int((counts == total_images).sum())
-        near_always += int((counts >= max(total_images - 1, 1)).sum())
-    if positions == 0:
-        return {"always_zero": 0.0, "near_always_zero": 0.0}
-    return {
-        "always_zero": always / positions,
-        "near_always_zero": near_always / positions,
-    }
+    return ctx.position_stats(name)
 
 
 def run(ctx: ExperimentContext) -> ExperimentResult:

@@ -1,0 +1,197 @@
+"""Parallel scheduling of (experiment × network) work units.
+
+``run_all`` decomposes into independent work units — one per (experiment,
+network) pair, plus network-independent singletons (fig11's area model,
+fig14's trained-small-CNN greedy search).  Units that share a network
+form a *chain*: they need the same expensive primitives (calibrated
+weights, forward activations), so the chain executes sequentially inside
+one worker process sharing one in-memory :class:`ExperimentContext`,
+while distinct chains run concurrently on the process pool, up to
+``jobs`` workers.  Every derived artifact a unit computes is persisted
+to the shared content-addressed
+:class:`~repro.experiments.manifest.ArtifactCache`, so reruns — and the
+parent — never recompute what any worker already produced.
+
+After the pool drains, the parent performs a deterministic *assembly*
+pass: the unchanged serial experiment loop, which finds all expensive
+artifacts already cached and therefore reproduces the serial paper-order
+output exactly (floats survive the JSON round-trip bit-for-bit).
+
+Worker failures are recorded in the unit's manifest entry rather than
+aborting the pool; the assembly pass will recompute whatever the failed
+unit did not cache (and surface any real error in paper order).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+
+from repro.experiments.config import PaperConfig
+from repro.experiments.context import ExperimentContext
+from repro.experiments.manifest import UnitRecord
+from repro.hw.config import PAPER_CONFIG, ArchConfig
+
+__all__ = ["WorkUnit", "plan_units", "execute_units", "run_unit", "run_chain"]
+
+#: Experiments whose result does not depend on any network context.
+GLOBAL_EXPERIMENTS = ("fig11",)
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One schedulable piece of ``run_all``.
+
+    ``kind`` selects what the worker executes:
+
+    ``experiment``  the registered experiment on a single-network config
+    ``sweep``       the full threshold-sweep ladder for one network
+                    (fig14's per-network half, superset of fig9/table2)
+    ``smallcnn``    fig14's trained-small-CNN greedy search
+    ``timings``     baseline + CNV timing summaries only (used by
+                    ``cnvlutin-sim network --jobs``)
+    """
+
+    experiment: str
+    network: str | None
+    kind: str = "experiment"
+
+    @property
+    def label(self) -> str:
+        if self.kind == "smallcnn":
+            return f"{self.experiment}:smallcnn"
+        return f"{self.experiment}:{self.network or 'all'}"
+
+    @property
+    def affinity(self) -> str:
+        """Units with equal affinity share a chain (and a worker context)."""
+        if self.network is not None:
+            return self.network
+        return f"@{self.label}"
+
+
+def plan_units(config: PaperConfig, names: list[str]) -> list[WorkUnit]:
+    """Decompose the selected experiments into work units, paper order."""
+    units: list[WorkUnit] = []
+    for name in names:
+        if name in GLOBAL_EXPERIMENTS:
+            units.append(WorkUnit(name, None))
+        elif name == "fig14":
+            for network in config.networks:
+                units.append(WorkUnit(name, network, kind="sweep"))
+            if config.smallcnn:
+                units.append(WorkUnit(name, None, kind="smallcnn"))
+        else:
+            for network in config.networks:
+                units.append(WorkUnit(name, network))
+    return units
+
+
+def run_unit(ctx: ExperimentContext, unit: WorkUnit, phase: str = "parallel") -> UnitRecord:
+    """Execute one work unit against ``ctx``; returns its manifest record.
+
+    The valuable output is the set of derived artifacts persisted to the
+    content-addressed cache — per-unit aggregates are discarded.
+    """
+    from repro.experiments.fig14_pruning import smallcnn_tradeoff
+    from repro.experiments.runner import EXPERIMENTS
+    from repro.experiments.thresholds import sweep_deltas
+
+    start = time.time()
+    snapshot = ctx.artifacts.counters()
+    status, error = "ok", ""
+    try:
+        if unit.kind == "sweep":
+            sweep_deltas(ctx, unit.network)
+        elif unit.kind == "smallcnn":
+            smallcnn_tradeoff(ctx)
+        elif unit.kind == "timings":
+            ctx.baseline_timing(unit.network)
+            ctx.cnv_timing(unit.network)
+        else:
+            EXPERIMENTS[unit.experiment](ctx)
+    except Exception as exc:  # recorded; assembly surfaces real failures
+        status, error = "error", f"{type(exc).__name__}: {exc}"
+    delta = ctx.artifacts.delta_since(snapshot)
+    return UnitRecord(
+        unit=unit.label,
+        experiment=unit.experiment,
+        network=unit.network,
+        phase=phase,
+        worker=os.getpid(),
+        seconds=time.time() - start,
+        cache_hits=delta["hits"],
+        cache_misses=delta["misses"],
+        status=status,
+        error=error,
+    )
+
+
+def run_chain(
+    config: PaperConfig, arch: ArchConfig, units: list[WorkUnit]
+) -> list[UnitRecord]:
+    """Execute one affinity chain in this process, sharing one context.
+
+    All units in a chain target the same network (or are a singleton), so
+    a single context restricted to that network lets later units reuse
+    the forwards and calibration earlier units already built in memory —
+    zero duplicate computation inside a run.
+    """
+    network = units[0].network
+    cfg = replace(config, networks=[network]) if network is not None else config
+    ctx = ExperimentContext(cfg, arch=arch)
+    return [run_unit(ctx, unit) for unit in units]
+
+
+def execute_units(
+    config: PaperConfig,
+    units: list[WorkUnit],
+    jobs: int,
+    arch: ArchConfig = PAPER_CONFIG,
+) -> list[UnitRecord]:
+    """Run the units on a process pool, one task per affinity chain.
+
+    Returns records in planning order regardless of completion order, so
+    the manifest is deterministic up to timings/worker ids.
+    """
+    chains: "OrderedDict[str, list[tuple[int, WorkUnit]]]" = OrderedDict()
+    for index, unit in enumerate(units):
+        chains.setdefault(unit.affinity, []).append((index, unit))
+
+    records: dict[int, UnitRecord] = {}
+    if jobs <= 1 or len(chains) <= 1:
+        for chain in chains.values():
+            indices = [index for index, _ in chain]
+            chain_units = [unit for _, unit in chain]
+            for index, record in zip(indices, run_chain(config, arch, chain_units)):
+                records[index] = record
+        return [records[index] for index in sorted(records)]
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {}
+        for affinity, chain in chains.items():
+            chain_units = [unit for _, unit in chain]
+            futures[pool.submit(run_chain, config, arch, chain_units)] = chain
+        for future, chain in futures.items():
+            try:
+                chain_records = future.result()
+            except Exception as exc:  # pool/pickling failure
+                chain_records = [
+                    UnitRecord(
+                        unit=unit.label,
+                        experiment=unit.experiment,
+                        network=unit.network,
+                        phase="parallel",
+                        worker=0,
+                        seconds=0.0,
+                        status="error",
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    for _, unit in chain
+                ]
+            for (index, _), record in zip(chain, chain_records):
+                records[index] = record
+    return [records[index] for index in sorted(records)]

@@ -1,11 +1,18 @@
-"""Experiment result containers and table formatting."""
+"""Experiment result containers, table formatting, and result diffing."""
 
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 
-__all__ = ["ExperimentResult", "format_table", "geometric_mean"]
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "geometric_mean",
+    "results_to_json_doc",
+    "diff_result_docs",
+]
 
 
 def geometric_mean(values: list[float]) -> float:
@@ -80,3 +87,62 @@ class ExperimentResult:
             ],
         }
         return json.dumps(payload, indent=2)
+
+
+def results_to_json_doc(results: list[ExperimentResult]) -> str:
+    """All results as one JSON array document (the ``--json`` format)."""
+    return "[\n" + ",\n".join(result.to_json() for result in results) + "\n]\n"
+
+
+def _cell_matches(expected, actual, rel_tol: float, abs_tol: float) -> bool:
+    if isinstance(expected, float) or isinstance(actual, float):
+        if expected is None or actual is None:  # to_json maps NaN -> null
+            return expected is None and actual is None
+        try:
+            return math.isclose(
+                float(expected), float(actual), rel_tol=rel_tol, abs_tol=abs_tol
+            )
+        except (TypeError, ValueError):
+            return False
+    return expected == actual
+
+
+def diff_result_docs(
+    expected: list[dict],
+    actual: list[dict],
+    rel_tol: float = 1e-9,
+    abs_tol: float = 1e-12,
+) -> list[str]:
+    """Human-readable mismatches between two parsed ``--json`` documents.
+
+    Used by the golden regression test: numeric cells compare within
+    tolerance (so a numpy upgrade's last-ulp noise doesn't fail the
+    build), everything else compares exactly.  Returns [] when the
+    documents agree.
+    """
+    problems: list[str] = []
+    expected_ids = [doc.get("experiment") for doc in expected]
+    actual_ids = [doc.get("experiment") for doc in actual]
+    if expected_ids != actual_ids:
+        return [f"experiment list changed: {expected_ids!r} -> {actual_ids!r}"]
+    for exp_doc, act_doc in zip(expected, actual):
+        name = exp_doc["experiment"]
+        exp_rows, act_rows = exp_doc.get("rows", []), act_doc.get("rows", [])
+        if len(exp_rows) != len(act_rows):
+            problems.append(
+                f"{name}: row count changed {len(exp_rows)} -> {len(act_rows)}"
+            )
+            continue
+        for index, (exp_row, act_row) in enumerate(zip(exp_rows, act_rows)):
+            if sorted(exp_row) != sorted(act_row):
+                problems.append(
+                    f"{name} row {index}: columns changed "
+                    f"{sorted(exp_row)!r} -> {sorted(act_row)!r}"
+                )
+                continue
+            for key, value in exp_row.items():
+                if not _cell_matches(value, act_row[key], rel_tol, abs_tol):
+                    problems.append(
+                        f"{name} row {index} [{key}]: {value!r} -> {act_row[key]!r}"
+                    )
+    return problems

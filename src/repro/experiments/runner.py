@@ -4,14 +4,24 @@ Command line::
 
     cnvlutin-experiments --scale reduced
     cnvlutin-experiments --scale full --only fig9,fig13 --output results.md
+    cnvlutin-experiments --scale reduced --jobs 4 --profile
 
 Each experiment prints the same rows/series the paper's table or figure
 reports, alongside the paper's published values where the text quotes them.
+
+With ``--jobs N`` the run decomposes into (experiment × network) work
+units executed on a process pool (see :mod:`repro.experiments.parallel`);
+the final tables come from a deterministic serial assembly pass over the
+shared artifact cache, so the output is identical to ``--jobs 1``.  Every
+run records a :class:`~repro.experiments.manifest.RunManifest` (per-unit
+wall time, worker id, cache hit/miss counters); ``--profile`` prints it
+and ``--manifest PATH`` writes it as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -28,9 +38,10 @@ from repro.experiments import (
 )
 from repro.experiments.config import SCALES, PaperConfig
 from repro.experiments.context import ExperimentContext
-from repro.experiments.report import ExperimentResult
+from repro.experiments.manifest import RunManifest, UnitRecord
+from repro.experiments.report import ExperimentResult, results_to_json_doc
 
-__all__ = ["EXPERIMENTS", "run_all", "main"]
+__all__ = ["EXPERIMENTS", "run_all", "run_all_with_manifest", "main"]
 
 #: Experiment registry, in paper order.
 EXPERIMENTS = {
@@ -46,24 +57,74 @@ EXPERIMENTS = {
 }
 
 
-def run_all(
+def _validate_names(names: list[str]) -> None:
+    """Reject unknown experiment names before anything runs (so a typo in
+    ``--only a,b,typo`` cannot waste the experiments preceding it)."""
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(
+            f"unknown experiment(s) {unknown!r}; choose from {list(EXPERIMENTS)}"
+        )
+
+
+def run_all_with_manifest(
     config: PaperConfig | None = None,
     only: list[str] | None = None,
     verbose: bool = True,
     charts: bool = False,
-) -> list[ExperimentResult]:
-    """Run the selected experiments sharing one context; returns results."""
+    jobs: int = 1,
+) -> tuple[list[ExperimentResult], RunManifest]:
+    """Run the selected experiments; returns (results, run manifest).
+
+    ``jobs > 1`` schedules (experiment × network) work units on a process
+    pool first (warming the content-addressed artifact cache), then
+    assembles the results with the same serial loop ``jobs == 1`` uses —
+    the printed tables and JSON are identical either way.
+    """
     from repro.experiments import charts as chart_mod
 
+    config = config if config is not None else PaperConfig()
+    names = list(only) if only is not None else list(EXPERIMENTS)
+    _validate_names(names)
+
     ctx = ExperimentContext(config)
-    names = only if only is not None else list(EXPERIMENTS)
+    manifest = RunManifest(
+        scale=config.scale,
+        seed=config.seed,
+        networks=list(config.networks),
+        jobs=jobs,
+        config_hash=ctx.artifacts.config_hash,
+        experiments=names,
+    )
+    run_start = time.time()
+
+    if jobs > 1:
+        from repro.experiments.parallel import execute_units, plan_units
+
+        units = plan_units(config, names)
+        for record in execute_units(config, units, jobs=jobs, arch=ctx.arch):
+            manifest.add_unit(record)
+
+    phase = "assembly" if jobs > 1 else "serial"
     results = []
     for name in names:
-        if name not in EXPERIMENTS:
-            raise KeyError(f"unknown experiment {name!r}; choose from {list(EXPERIMENTS)}")
+        snapshot = ctx.artifacts.counters()
         start = time.time()
         result = EXPERIMENTS[name](ctx)
         results.append(result)
+        delta = ctx.artifacts.delta_since(snapshot)
+        manifest.add_unit(
+            UnitRecord(
+                unit=f"{name}:{phase}" if jobs > 1 else name,
+                experiment=name,
+                network=None,
+                phase=phase,
+                worker=os.getpid(),
+                seconds=time.time() - start,
+                cache_hits=delta["hits"],
+                cache_misses=delta["misses"],
+            )
+        )
         if verbose:
             print(result.to_table())
             if charts:
@@ -72,12 +133,28 @@ def run_all(
                     print()
                     print(rendered)
             print(f"[{name} took {time.time() - start:.1f}s]\n")
+    manifest.wall_seconds = time.time() - run_start
+    manifest.cache_stores = ctx.artifacts.stores
     if verbose:
         from repro.experiments.summary import headline_summary
 
         summary = headline_summary(results)
         if summary:
             print(summary)
+    return results, manifest
+
+
+def run_all(
+    config: PaperConfig | None = None,
+    only: list[str] | None = None,
+    verbose: bool = True,
+    charts: bool = False,
+    jobs: int = 1,
+) -> list[ExperimentResult]:
+    """Run the selected experiments; returns results (manifest discarded)."""
+    results, _ = run_all_with_manifest(
+        config, only=only, verbose=verbose, charts=charts, jobs=jobs
+    )
     return results
 
 
@@ -92,17 +169,54 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--networks", default=None, help="comma-separated subset")
     parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the (experiment x network) work units",
+    )
+    parser.add_argument(
+        "--no-smallcnn", action="store_true",
+        help="skip fig14's trained-small-CNN greedy search",
+    )
     parser.add_argument("--charts", action="store_true", help="render ASCII figures")
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print the per-unit wall-time/cache profile after the run",
+    )
+    parser.add_argument(
+        "--manifest", default=None,
+        help="write the run manifest JSON here "
+        "(default with --jobs > 1: <cache_dir>/manifests/latest.json)",
+    )
     parser.add_argument("--output", default=None, help="also write tables to a file")
     parser.add_argument("--json", default=None, help="write results as JSON")
     args = parser.parse_args(argv)
 
-    kwargs = {"scale": args.scale, "seed": args.seed, "use_cache": not args.no_cache}
+    kwargs = {
+        "scale": args.scale,
+        "seed": args.seed,
+        "use_cache": not args.no_cache,
+        "smallcnn": not args.no_smallcnn,
+    }
     if args.networks:
         kwargs["networks"] = args.networks.split(",")
     config = PaperConfig(**kwargs)
     only = args.only.split(",") if args.only else None
-    results = run_all(config, only=only, charts=args.charts)
+    try:
+        results, manifest = run_all_with_manifest(
+            config, only=only, charts=args.charts, jobs=args.jobs
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.profile:
+        print(manifest.profile_table())
+        print()
+    manifest_path = args.manifest
+    if manifest_path is None and args.jobs > 1:
+        manifest_path = config.cache_dir / "manifests" / "latest.json"
+    if manifest_path is not None:
+        manifest.save(manifest_path)
+        print(f"wrote manifest {manifest_path}")
     if args.output:
         with open(args.output, "w") as handle:
             for result in results:
@@ -111,9 +225,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {args.output}")
     if args.json:
         with open(args.json, "w") as handle:
-            handle.write(
-                "[\n" + ",\n".join(result.to_json() for result in results) + "\n]\n"
-            )
+            handle.write(results_to_json_doc(results))
         print(f"wrote {args.json}")
     return 0
 

@@ -22,7 +22,7 @@ PAPER_CONV_LAYERS = {
 def run(ctx: ExperimentContext) -> ExperimentResult:
     rows = []
     for name in ctx.config.networks:
-        network = ctx.network_ctx(name).network
+        network = ctx.network_structure(name)
         rows.append(
             {
                 "network": name,

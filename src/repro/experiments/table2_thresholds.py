@@ -39,7 +39,7 @@ PAPER_TABLE2_SPEEDUPS = {
 
 def _format_thresholds(ctx: ExperimentContext, name: str, raw: dict[str, int]) -> str:
     """Comma list in network layer order, one value per threshold group."""
-    network = ctx.network_ctx(name).network
+    network = ctx.network_structure(name)
     groups = threshold_groups(ctx, name)
     seen: list[str] = []
     values: list[str] = []

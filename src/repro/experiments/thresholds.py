@@ -48,7 +48,7 @@ def _largest_power_of_two_at_most(raw: float) -> int:
 
 def threshold_groups(ctx: ExperimentContext, name: str) -> dict[str, str]:
     """Map conv layers to threshold groups (inception modules for google)."""
-    network = ctx.network_ctx(name).network
+    network = ctx.network_structure(name)
     groups: dict[str, str] = {}
     for layer in network.conv_layers:
         if name == "google" and layer.name.startswith("inception_"):
@@ -67,6 +67,9 @@ def quantile_thresholds(
     compares); grouped layers (google inception modules) share the group's
     minimum so no layer in the group prunes above its own delta-quantile.
     """
+    cached = ctx.artifacts.load("quantile_thresholds", network=name, delta=delta)
+    if cached is not None:
+        return {layer: int(value) for layer, value in cached.items()}
     magnitudes = _output_magnitudes(ctx, name)
     groups = threshold_groups(ctx, name)
     per_layer: dict[str, int] = {}
@@ -81,7 +84,9 @@ def quantile_thresholds(
     for layer, raw in per_layer.items():
         group = groups[layer]
         group_min[group] = min(group_min.get(group, raw), raw)
-    return {layer: group_min[groups[layer]] for layer in per_layer}
+    result = {layer: group_min[groups[layer]] for layer in per_layer}
+    ctx.artifacts.store("quantile_thresholds", result, network=name, delta=delta)
+    return result
 
 
 def _output_magnitudes(ctx: ExperimentContext, name: str) -> dict[str, np.ndarray]:
@@ -147,14 +152,36 @@ def sweep_deltas(
     for delta in deltas:
         key = (name, delta)
         if key not in cache:
-            raw = quantile_thresholds(ctx, name, delta)
-            thresholds = _real_thresholds(raw)
-            cache[key] = ThresholdSweepPoint(
-                delta=delta,
-                raw_thresholds=raw,
-                stability=ctx.prediction_stability(name, thresholds),
-                speedup=ctx.speedup(name, thresholds),
-            )
+            stored = ctx.artifacts.load("sweep_point", network=name, delta=delta)
+            if stored is not None:
+                cache[key] = ThresholdSweepPoint(
+                    delta=delta,
+                    raw_thresholds={
+                        k: int(v) for k, v in stored["raw_thresholds"].items()
+                    },
+                    stability=stored["stability"],
+                    speedup=stored["speedup"],
+                )
+            else:
+                raw = quantile_thresholds(ctx, name, delta)
+                thresholds = _real_thresholds(raw)
+                point = ThresholdSweepPoint(
+                    delta=delta,
+                    raw_thresholds=raw,
+                    stability=ctx.prediction_stability(name, thresholds),
+                    speedup=ctx.speedup(name, thresholds),
+                )
+                ctx.artifacts.store(
+                    "sweep_point",
+                    {
+                        "raw_thresholds": point.raw_thresholds,
+                        "stability": point.stability,
+                        "speedup": point.speedup,
+                    },
+                    network=name,
+                    delta=delta,
+                )
+                cache[key] = point
         point = cache[key]
         points.append(point)
         if stop_below_stability is not None and point.stability < stop_below_stability:

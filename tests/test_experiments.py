@@ -66,7 +66,7 @@ class TestContext:
 
     def test_calibration_cached_on_disk(self, ctx):
         ctx.network_ctx("alex")
-        path = ctx.config.cache_key("calib", "alex")
+        path = ctx.artifacts.path("calib", network="alex")
         assert path.exists()
 
     def test_speedup_above_one(self, ctx):

@@ -1,0 +1,73 @@
+"""Golden regression test: all experiments at a pinned reduced scale.
+
+A checked-in JSON snapshot (``tests/golden/experiments_tiny.json``) pins
+every table/figure the pipeline produces at tiny scale for two networks.
+Any change to the simulators, timing models, threshold derivation, or
+experiment plumbing that shifts a published number fails here with a
+per-cell diff; float cells compare within tolerance so platform-level
+last-ulp noise does not.
+
+Refresh after an intentional change with::
+
+    CNVLUTIN_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/test_golden_regression.py -q
+
+and commit the updated file alongside the change that motivated it.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import PaperConfig
+from repro.experiments.report import diff_result_docs, results_to_json_doc
+from repro.experiments.runner import EXPERIMENTS, run_all
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "experiments_tiny.json"
+
+#: The pinned configuration.  ``smallcnn=False`` keeps fig14 to its
+#: deterministic per-network sweep half (the greedy search is exercised
+#: by its own tests and is by far the costliest unit).
+GOLDEN_NETWORKS = ["alex", "cnnS"]
+
+
+def golden_config(cache_dir) -> PaperConfig:
+    return PaperConfig(
+        scale="tiny",
+        networks=list(GOLDEN_NETWORKS),
+        num_images=1,
+        cache_dir=cache_dir,
+        smallcnn=False,
+    )
+
+
+def test_all_experiments_match_golden(tmp_path):
+    config = golden_config(tmp_path / "cache")
+    results = run_all(config, only=list(EXPERIMENTS), verbose=False)
+    actual = json.loads(results_to_json_doc(results))
+
+    if os.environ.get("CNVLUTIN_UPDATE_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(actual, indent=2) + "\n")
+        pytest.skip(f"updated golden file {GOLDEN_PATH}")
+
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden file {GOLDEN_PATH}; generate it with "
+        "CNVLUTIN_UPDATE_GOLDEN=1"
+    )
+    expected = json.loads(GOLDEN_PATH.read_text())
+    mismatches = diff_result_docs(expected, actual, rel_tol=1e-6, abs_tol=1e-9)
+    assert not mismatches, (
+        "results drifted from the golden snapshot "
+        "(refresh with CNVLUTIN_UPDATE_GOLDEN=1 if intentional):\n"
+        + "\n".join(mismatches)
+    )
+
+
+def test_golden_covers_every_experiment():
+    if not GOLDEN_PATH.exists():
+        pytest.skip("golden file not generated yet")
+    expected = json.loads(GOLDEN_PATH.read_text())
+    assert [doc["experiment"] for doc in expected] == list(EXPERIMENTS)

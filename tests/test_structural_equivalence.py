@@ -177,6 +177,90 @@ class TestCnvStructural:
         )
 
 
+#: Generalized geometries: grouped convolutions, shallow depths below the
+#: brick size (partial fetch blocks exercise the brick-interleaved lane
+#: assignment), and the full stride/pad range the paper networks use.
+general_cases = st.tuples(
+    st.sampled_from([1, 2, 3]),  # groups
+    st.sampled_from([1, 2, 3, 4, 6]),  # depth per group (1-3: < brick size)
+    st.integers(4, 7),  # in_y
+    st.integers(4, 7),  # in_x
+    st.sampled_from([1, 2, 3]),  # filters per group
+    st.integers(1, 3),  # kernel
+    st.integers(1, 3),  # stride
+    st.integers(0, 2),  # pad
+    st.floats(0.0, 0.9),  # zero fraction
+)
+
+
+class TestGeneralizedGeometryDifferential:
+    """Property-based differential test: for randomized conv geometries the
+    analytic ``cnv_conv_timing`` / ``baseline_conv_timing`` cycle counts
+    must equal the cycle-by-cycle structural simulators, and both
+    simulators must compute the exact convolution."""
+
+    @settings(max_examples=14, deadline=None)
+    @given(general_cases, st.integers(0, 2**32 - 1))
+    def test_analytic_equals_structural(self, case, seed):
+        groups, dpg, in_y, in_x, fpg, kernel, stride, pad, zero_frac = case
+        depth, filters = groups * dpg, groups * fpg
+        built = _build(
+            (depth, in_y, in_x, filters, kernel, stride, pad, zero_frac),
+            seed,
+            groups=groups,
+        )
+        if built is None:
+            return
+        work, weights = built
+        cfg = small_config()
+        golden = conv2d(
+            work.activations, weights, stride=stride, pad=pad, groups=groups
+        )
+
+        base = DaDianNaoNode(cfg).run_conv_layer(work, weights)
+        assert np.allclose(base.output, golden)
+        assert base.cycles == baseline_conv_timing(work, cfg).cycles
+
+        cnv = CnvNode(cfg).run_conv_layer(work, weights)
+        assert np.allclose(cnv.output, golden)
+        analytic = cnv_conv_timing(work, cfg)
+        assert cnv.cycles == analytic.cycles
+        for category, expected in analytic.lane_events.items():
+            assert cnv.counters[f"lane_{category}"] == pytest.approx(
+                expected
+            ), category
+
+    @settings(max_examples=8, deadline=None)
+    @given(general_cases, st.integers(0, 2**32 - 1))
+    def test_brick_interleaved_lane_assignment_variants(self, case, seed):
+        """The same differential property on a lane geometry whose brick
+        size differs from the lane count (bricks interleave across lanes
+        differently than in the paper's brick_size == neuron_lanes node)."""
+        groups, dpg, in_y, in_x, fpg, kernel, stride, pad, zero_frac = case
+        depth, filters = groups * dpg, groups * fpg
+        built = _build(
+            (depth, in_y, in_x, filters, kernel, stride, pad, zero_frac),
+            seed,
+            groups=groups,
+        )
+        if built is None:
+            return
+        work, weights = built
+        cfg = ArchConfig(
+            num_units=2, neuron_lanes=4, filters_per_unit=2, brick_size=2,
+            nbin_entries=8,
+        )
+        golden = conv2d(
+            work.activations, weights, stride=stride, pad=pad, groups=groups
+        )
+        base = DaDianNaoNode(cfg).run_conv_layer(work, weights)
+        cnv = CnvNode(cfg).run_conv_layer(work, weights)
+        assert np.allclose(base.output, golden)
+        assert np.allclose(cnv.output, golden)
+        assert base.cycles == baseline_conv_timing(work, cfg).cycles
+        assert cnv.cycles == cnv_conv_timing(work, cfg).cycles
+
+
 class TestArchitectureVariants:
     @pytest.mark.parametrize(
         "units,lanes,filters,brick",
