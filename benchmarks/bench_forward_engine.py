@@ -1,0 +1,198 @@
+"""Forward-engine benchmark: single vs batched vs incremental sweeps.
+
+Times the three ways of evaluating threshold configurations on one
+calibrated network at tiny scale:
+
+* ``single``       — one ``run_forward`` per image (the pre-engine path);
+* ``batched``      — one batched ``run_forward`` over the whole image stack;
+* ``incremental``  — the Fig. 14 / Table II hot loop: a real
+  coordinate-ascent :class:`repro.core.pruning.ThresholdSearcher` sweep
+  over several tolerances, evaluated through
+  :class:`repro.nn.engine.IncrementalForwardEngine` (plus the searcher's
+  config memo), against the pre-engine cost of from-scratch per-image
+  forwards for every configuration the search visits.
+
+Also verifies the engine's bit-identity claim on the way: both sweep
+paths must agree on every visited configuration's prediction stability.
+
+Run standalone to (re)generate ``BENCH_forward.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_forward_engine.py
+
+or under pytest-benchmark with the rest of the harness::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_forward_engine.py
+
+The committed ``BENCH_forward.json`` holds the measured numbers; CI runs
+the standalone form as a smoke step and enforces the sweep-speedup floor.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.pruning import ThresholdSearcher, raw_to_real
+from repro.experiments.config import PaperConfig
+from repro.experiments.context import ExperimentContext
+from repro.nn.engine import IncrementalForwardEngine
+from repro.nn.inference import run_forward
+
+BENCH_NETWORK = "alex"
+BENCH_NUM_IMAGES = 4
+SWEEP_TOLERANCES = (0.0, 0.01, 0.10)
+SEARCH_CANDIDATES = (0, 1, 2, 4, 8, 16)
+#: The sweep must beat per-image from-scratch evaluation by at least this
+#: factor (the PR's acceptance floor).
+SWEEP_SPEEDUP_FLOOR = 3.0
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_forward.json"
+
+
+def _bench_context() -> ExperimentContext:
+    config = PaperConfig(
+        scale="tiny",
+        networks=[BENCH_NETWORK],
+        num_images=BENCH_NUM_IMAGES,
+        use_cache=False,
+        smallcnn=False,
+    )
+    return ExperimentContext(config)
+
+
+def _real_thresholds(raw_thresholds: dict[str, int]) -> dict[str, float]:
+    return {k: raw_to_real(v) for k, v in raw_thresholds.items() if v}
+
+
+def _evaluate_result(result, clean_predictions) -> tuple[float, float]:
+    """(stability, pruned-zero-fraction) for one batched ForwardResult.
+
+    Stability is the Fig. 14 proxy accuracy; the mean conv-input zero
+    fraction stands in for the (value-dependent) speedup the real sweep
+    computes, keeping the benchmark focused on forward cost.
+    """
+    predictions = np.argmax(result.logits, axis=1)
+    stability = float((predictions == clean_predictions).mean())
+    zero_fraction = float(
+        np.mean([np.mean(arr == 0.0) for arr in result.conv_inputs.values()])
+    )
+    return stability, zero_fraction
+
+
+def run_bench() -> dict:
+    ctx = _bench_context()
+    nctx = ctx.network_ctx(BENCH_NETWORK)
+    network, store, images = nctx.network, nctx.store, nctx.images
+    stack = np.stack(images)
+    prunable = [layer.name for layer in network.conv_layers if layer.fused_relu]
+
+    # -- single vs batched unpruned forward ---------------------------
+    start = time.perf_counter()
+    single_results = [
+        run_forward(network, store, image, keep_outputs=False) for image in images
+    ]
+    single_forward_s = time.perf_counter() - start
+    single_preds = np.array([np.argmax(r.logits) for r in single_results])
+
+    start = time.perf_counter()
+    batched = run_forward(network, store, stack, keep_outputs=False)
+    batched_forward_s = time.perf_counter() - start
+    clean_predictions = np.argmax(batched.logits, axis=1)
+    assert np.array_equal(single_preds, clean_predictions)
+
+    # -- the Fig. 14 / Table II hot loop: a coordinate-ascent sweep ----
+    # New path: incremental engine + memoized searcher.
+    engine = IncrementalForwardEngine(network, store, stack)
+
+    def engine_evaluate(raw_thresholds: dict[str, int]) -> tuple[float, float]:
+        result = engine.run(thresholds=_real_thresholds(raw_thresholds))
+        return _evaluate_result(result, clean_predictions)
+
+    searcher = ThresholdSearcher(
+        evaluate=engine_evaluate,
+        layer_names=prunable,
+        candidates=SEARCH_CANDIDATES,
+    )
+    start = time.perf_counter()
+    new_points = searcher.sweep(list(SWEEP_TOLERANCES))
+    incremental_sweep_s = time.perf_counter() - start
+
+    # Old path: the memo-less searcher evaluated every visit in `history`
+    # with one from-scratch forward per image.  Memoization does not alter
+    # the search trajectory, so the history is exactly the pre-engine
+    # evaluation sequence; replay it the old way and check agreement.
+    start = time.perf_counter()
+    for point in searcher.history:
+        thresholds = _real_thresholds(point.raw_thresholds)
+        per_image = [
+            run_forward(
+                network, store, image, thresholds=thresholds, keep_outputs=False
+            )
+            for image in images
+        ]
+        stability = float(
+            np.mean(
+                [
+                    int(np.argmax(r.logits)) == int(clean)
+                    for r, clean in zip(per_image, clean_predictions)
+                ]
+            )
+        )
+        zero_fraction = float(
+            np.mean(
+                [
+                    np.mean(arr == 0.0)
+                    for r in per_image
+                    for arr in r.conv_inputs.values()
+                ]
+            )
+        )
+        assert stability == point.accuracy
+        _ = zero_fraction
+    per_image_sweep_s = time.perf_counter() - start
+
+    return {
+        "scale": "tiny",
+        "network": BENCH_NETWORK,
+        "num_images": BENCH_NUM_IMAGES,
+        "sweep_tolerances": list(SWEEP_TOLERANCES),
+        "sweep_configs_visited": len(searcher.history),
+        "sweep_configs_evaluated": len(searcher.history) - searcher.cache_hits,
+        "sweep_points": [p.raw_thresholds for p in new_points],
+        "single_forward_s": round(single_forward_s, 4),
+        "batched_forward_s": round(batched_forward_s, 4),
+        "batched_vs_single_speedup": round(single_forward_s / batched_forward_s, 2),
+        "per_image_sweep_s": round(per_image_sweep_s, 4),
+        "incremental_sweep_s": round(incremental_sweep_s, 4),
+        "sweep_speedup": round(per_image_sweep_s / incremental_sweep_s, 2),
+        "engine_cache_hit_rate": round(engine.stats.hit_rate, 3),
+        "sweep_speedup_floor": SWEEP_SPEEDUP_FLOOR,
+    }
+
+
+def test_forward_engine_bench(benchmark):
+    from conftest import run_once
+
+    report = run_once(benchmark, run_bench)
+    print()
+    print(json.dumps(report, indent=2))
+    assert report["sweep_speedup"] >= SWEEP_SPEEDUP_FLOOR
+
+
+def main() -> int:
+    report = run_bench()
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if report["sweep_speedup"] < SWEEP_SPEEDUP_FLOOR:
+        print(
+            f"FAIL: sweep speedup {report['sweep_speedup']}x below the "
+            f"{SWEEP_SPEEDUP_FLOOR}x floor"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

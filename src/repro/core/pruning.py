@@ -91,12 +91,35 @@ class ThresholdSearcher:
     layer_names: list[str]
     candidates: tuple[int, ...] = DEFAULT_RAW_CANDIDATES
     history: list[PruningPoint] = field(default_factory=list)
+    #: Memo of evaluated configurations keyed by their non-zero thresholds:
+    #: ``sweep()`` over several tolerances revisits the all-zero baseline
+    #: and many trial points, which would otherwise re-run full forward
+    #: evaluations.  ``history`` still records every visit (cache hits
+    #: append a fresh point without calling ``evaluate``).
+    _memo: dict[tuple, PruningPoint] = field(default_factory=dict, init=False)
+    cache_hits: int = field(default=0, init=False)
+
+    @staticmethod
+    def _memo_key(thresholds: dict[str, int]) -> tuple:
+        return tuple(sorted((k, int(v)) for k, v in thresholds.items() if v))
 
     def _eval_point(self, thresholds: dict[str, int]) -> PruningPoint:
+        key = self._memo_key(thresholds)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            point = PruningPoint(
+                raw_thresholds=dict(thresholds),
+                accuracy=cached.accuracy,
+                speedup=cached.speedup,
+            )
+            self.history.append(point)
+            return point
         accuracy, speedup = self.evaluate(thresholds)
         point = PruningPoint(
             raw_thresholds=dict(thresholds), accuracy=accuracy, speedup=speedup
         )
+        self._memo[key] = point
         self.history.append(point)
         return point
 

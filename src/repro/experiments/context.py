@@ -32,7 +32,8 @@ from repro.nn.calibration import (
     measure_zero_fractions,
 )
 from repro.nn.datasets import natural_images
-from repro.nn.inference import ForwardResult, WeightStore, init_weights, run_forward
+from repro.nn.engine import IncrementalForwardEngine, slice_result
+from repro.nn.inference import ForwardResult, WeightStore, init_weights
 from repro.nn.models import build_network
 from repro.nn.network import Network
 
@@ -141,6 +142,7 @@ class ExperimentContext:
         )
         self._networks: dict[str, NetworkContext] = {}
         self._structures: dict[str, Network] = {}
+        self._engines: dict[str, IncrementalForwardEngine] = {}
         self._forwards: dict[tuple, ForwardResult] = {}
         self._baseline_timings: dict[str, object] = {}
         self._cnv_timings: dict[tuple, object] = {}
@@ -210,6 +212,21 @@ class ExperimentContext:
     # ------------------------------------------------------------------
     # forwards and timings
     # ------------------------------------------------------------------
+    def engine(self, name: str) -> IncrementalForwardEngine:
+        """Incremental batched forward engine over the network's image set.
+
+        Every forward in this context runs through one engine per network,
+        so activation prefixes are shared across images, threshold
+        configurations, and the consumers below (``forward``,
+        ``prediction_stability``, ``cnv_timing``, the threshold searches).
+        """
+        if name not in self._engines:
+            ctx = self.network_ctx(name)
+            self._engines[name] = IncrementalForwardEngine(
+                ctx.network, ctx.store, np.stack(ctx.images)
+            )
+        return self._engines[name]
+
     def forward(
         self,
         name: str,
@@ -219,16 +236,12 @@ class ExperimentContext:
         key = (name, image_index, thresholds_key(thresholds))
         if key in self._forwards:
             return self._forwards[key]
-        ctx = self.network_ctx(name)
-        result = run_forward(
-            ctx.network,
-            ctx.store,
-            ctx.images[image_index],
-            thresholds=thresholds,
-            collect_conv_inputs=True,
-            keep_outputs=False,
+        batched = self.engine(name).run(
+            thresholds=thresholds, collect_conv_inputs=True, keep_outputs=False
         )
-        # Only cache the unpruned forward — threshold sweeps would pile up.
+        result = slice_result(batched, image_index)
+        # Only cache the unpruned forward — threshold sweeps would pile up
+        # (the engine's own signature-keyed LRU covers the pruned configs).
         if not thresholds:
             self._forwards[key] = result
         return result
@@ -335,15 +348,13 @@ class ExperimentContext:
         if total_images < 2:
             # "Always zero across inputs" is vacuous with a single input.
             return {"always_zero": float("nan"), "near_always_zero": float("nan")}
-        zero_counts: dict[str, np.ndarray] = {}
-        for index in range(total_images):
-            result = self.forward(name, index)
-            for layer, arr in result.conv_inputs.items():
-                mask = (arr == 0.0).astype(np.int32)
-                if layer in zero_counts:
-                    zero_counts[layer] += mask
-                else:
-                    zero_counts[layer] = mask
+        # One batched pass; counting zeros over the batch axis replaces the
+        # per-image accumulation loop bit-identically.
+        result = self.engine(name).run(collect_conv_inputs=True, keep_outputs=False)
+        zero_counts = {
+            layer: (arr == 0.0).sum(axis=0)
+            for layer, arr in result.conv_inputs.items()
+        }
         always = 0
         near_always = 0
         positions = 0
@@ -382,12 +393,20 @@ class ExperimentContext:
         accuracy' (DESIGN.md substitution); the trained small CNN provides
         the genuine accuracy signal.
         """
-        agree = 0
         total = self.config.num_images
-        for idx in range(total):
-            clean = int(np.argmax(self.logits(name, idx)))
-            pruned = int(np.argmax(self.logits(name, idx, thresholds=thresholds)))
-            agree += clean == pruned
+        engine = self.engine(name)
+        clean = engine.run(collect_conv_inputs=False, keep_outputs=False)
+        pruned = engine.run(
+            thresholds=thresholds, collect_conv_inputs=False, keep_outputs=False
+        )
+        if clean.logits is None or pruned.logits is None:
+            raise ValueError(f"network {name} produced no logits")
+        agree = int(
+            (
+                np.argmax(clean.logits[:total], axis=1)
+                == np.argmax(pruned.logits[:total], axis=1)
+            ).sum()
+        )
         return agree / total
 
     def activation_magnitudes(self, name: str) -> dict[str, np.ndarray]:

@@ -7,6 +7,13 @@ Here the six calibrated networks use the percentile rule of
 lossless criterion, and the trained small CNN additionally runs the
 paper's actual greedy search against true accuracy (reported as an extra
 row) — see DESIGN.md for the substitution rationale.
+
+The lossless search is a threshold sweep and therefore runs on the
+incremental batched engine (:mod:`repro.nn.engine`) via
+``ExperimentContext``: each delta's stability check is one batched pass
+with cached upstream prefixes, and the follow-up timing forward replays
+from the engine cache instead of recomputing (see EXPERIMENTS.md,
+"Forward engine").
 """
 
 from __future__ import annotations

@@ -98,17 +98,13 @@ def _output_magnitudes(ctx: ExperimentContext, name: str) -> dict[str, np.ndarra
         setattr(ctx, cache_attr, cache)
     if name in cache:
         return cache[name]
-    from repro.nn.inference import run_forward  # local import to avoid cycle
-
     nctx = ctx.network_ctx(name)
-    result = run_forward(
-        nctx.network, nctx.store, nctx.images[0], collect_conv_inputs=False
-    )
+    result = ctx.engine(name).run(collect_conv_inputs=False, keep_outputs=True)
     out: dict[str, np.ndarray] = {}
     for layer in nctx.network.conv_layers:
         if not layer.fused_relu:
             continue
-        arr = result.outputs[layer.name]
+        arr = result.outputs[layer.name][0]
         live = np.abs(arr[arr != 0.0])
         # Subsample huge layers: quantiles need only a sketch.
         if live.size > 200_000:

@@ -1,0 +1,250 @@
+"""Incremental, batched forward engine for threshold sweeps.
+
+The Fig. 14 / Table II threshold searches evaluate hundreds of threshold
+configurations per network, and each coordinate-ascent trial changes
+exactly *one* layer's threshold: every layer that does not read (directly
+or transitively) a pruned activation produces bit-identical output across
+trials.  :class:`IncrementalForwardEngine` exploits this by caching each
+layer's batched output keyed by the layer's *effective threshold
+signature* — the subset of active (non-zero) thresholds on layers in the
+layer's upstream cone, walked through ``input_from``/concat edges and
+including the layer itself.  A forward pass under a new configuration then
+replays cached prefixes and only computes the suffix below the perturbed
+layer.
+
+All activations are held as a single ``(batch, depth, H, W)`` stack and
+computed through the batched paths of :mod:`repro.nn.layers`, so one
+engine pass replaces ``batch`` per-image :func:`~repro.nn.inference.run_forward`
+calls — bit-identically (differential-tested in
+``tests/test_forward_engine.py``).
+
+The cache is bounded by a byte budget (``CNVLUTIN_ENGINE_CACHE_MB``
+environment variable, default 512 MiB) with LRU eviction; the engine
+never caches less than the most recent entry, so it degrades to plain
+recomputation under tiny budgets rather than failing.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.inference import (
+    ForwardResult,
+    WeightStore,
+    _consumer_counts,
+    _producer_output,
+    _release_consumed,
+    apply_layer,
+)
+from repro.nn.network import LayerKind, LayerSpec, Network
+
+__all__ = [
+    "IncrementalForwardEngine",
+    "EngineStats",
+    "threshold_scopes",
+    "slice_result",
+]
+
+#: Default LRU cache budget in MiB; override with CNVLUTIN_ENGINE_CACHE_MB.
+DEFAULT_CACHE_MB = 512.0
+
+
+def _is_prunable(layer: LayerSpec) -> bool:
+    """Can a Section V-E threshold change this layer's output directly?"""
+    if layer.kind in (LayerKind.CONV, LayerKind.FC):
+        return layer.fused_relu
+    return layer.kind == LayerKind.RELU
+
+
+def _producer_names(network: Network, index: int, layer: LayerSpec) -> list[str]:
+    if layer.kind == LayerKind.CONCAT:
+        return list(layer.input_from)
+    if layer.input_from is not None:
+        return [layer.input_from[0]]
+    if index > 0:
+        return [network.layers[index - 1].name]
+    return []
+
+
+def threshold_scopes(network: Network) -> dict[str, tuple[str, ...]]:
+    """Per-layer sorted tuple of threshold-bearing layers that can affect it.
+
+    A layer's scope is the union of its producers' scopes (walked through
+    ``input_from`` and concat edges) plus the layer itself when a pruning
+    threshold applies to it (fused-ReLU conv/FC or a standalone ReLU).
+    Two threshold configurations that agree on a layer's scope yield
+    bit-identical output for that layer.
+    """
+    scopes: dict[str, tuple[str, ...]] = {}
+    for idx, layer in enumerate(network.layers):
+        deps: set[str] = set()
+        for src in _producer_names(network, idx, layer):
+            deps.update(scopes[src])
+        if _is_prunable(layer):
+            deps.add(layer.name)
+        scopes[layer.name] = tuple(sorted(deps))
+    return scopes
+
+
+def slice_result(result: ForwardResult, index: int) -> ForwardResult:
+    """Single-image view (no copy) of a batched :class:`ForwardResult`."""
+    return ForwardResult(
+        outputs={name: arr[index] for name, arr in result.outputs.items()},
+        conv_inputs={name: arr[index] for name, arr in result.conv_inputs.items()},
+        logits=None if result.logits is None else result.logits[index],
+    )
+
+
+@dataclass
+class EngineStats:
+    """Cache effectiveness counters for one engine instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class IncrementalForwardEngine:
+    """Batched forward passes with prefix reuse across threshold configs.
+
+    Parameters
+    ----------
+    network, store:
+        The network description and its (calibrated) weights.
+    images:
+        Image stack ``(batch, depth, H, W)`` — a single ``(depth, H, W)``
+        image is promoted to a batch of one.  The stack is computed in its
+        own floating dtype (see :func:`~repro.nn.inference.run_forward`).
+    cache_bytes:
+        LRU budget for cached layer outputs; defaults to the
+        ``CNVLUTIN_ENGINE_CACHE_MB`` environment variable (512 MiB).
+
+    The engine intentionally does not support the quantization (``fmt``/
+    ``formats``) or calibration (``shift_fn``) hooks of ``run_forward`` —
+    none of the sweep paths use them, and calibration must observe raw
+    pre-activations pass by pass.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        store: WeightStore,
+        images: np.ndarray,
+        cache_bytes: int | None = None,
+    ):
+        images = np.asarray(images)
+        if images.ndim == 3:
+            images = images[np.newaxis]
+        if images.ndim != 4 or images.shape[1:] != network.input_shape:
+            raise ValueError(
+                f"image stack shape {images.shape} incompatible with network "
+                f"input {network.input_shape}"
+            )
+        if not np.issubdtype(images.dtype, np.floating):
+            images = images.astype(np.float64)
+        self.network = network
+        self.store = store
+        self.images = images
+        self.scopes = threshold_scopes(network)
+        self.stats = EngineStats()
+        if cache_bytes is None:
+            cache_bytes = int(
+                float(os.environ.get("CNVLUTIN_ENGINE_CACHE_MB", DEFAULT_CACHE_MB))
+                * 1024
+                * 1024
+            )
+        self.cache_bytes = cache_bytes
+        # (layer_name, signature) -> (out, logits); LRU order.
+        self._cache: OrderedDict[tuple, tuple[np.ndarray, np.ndarray | None]] = (
+            OrderedDict()
+        )
+        self._cache_used = 0
+
+    @property
+    def batch(self) -> int:
+        return self.images.shape[0]
+
+    def _signature(
+        self, name: str, thresholds: dict[str, float]
+    ) -> tuple[tuple[str, float], ...]:
+        return tuple(
+            (dep, float(thresholds[dep]))
+            for dep in self.scopes[name]
+            if thresholds.get(dep)
+        )
+
+    def _remember(self, key: tuple, out: np.ndarray, logits: np.ndarray | None):
+        size = out.nbytes + (logits.nbytes if logits is not None else 0)
+        self._cache[key] = (out, logits)
+        self._cache_used += size
+        while self._cache_used > self.cache_bytes and len(self._cache) > 1:
+            _, (old_out, old_logits) = self._cache.popitem(last=False)
+            self._cache_used -= old_out.nbytes + (
+                old_logits.nbytes if old_logits is not None else 0
+            )
+            self.stats.evictions += 1
+
+    def run(
+        self,
+        thresholds: dict[str, float] | None = None,
+        collect_conv_inputs: bool = True,
+        keep_outputs: bool = False,
+    ) -> ForwardResult:
+        """Forward the whole image stack under one threshold configuration.
+
+        Returns a batched :class:`ForwardResult` bit-identical to stacking
+        per-image ``run_forward`` results.  Layers whose threshold
+        signature matches a cached entry are replayed from the cache; the
+        rest compute (batched) and populate it.  Use :func:`slice_result`
+        for per-image views.
+        """
+        network, store = self.network, self.store
+        thresholds = thresholds or {}
+        outputs: dict[str, np.ndarray] = {}
+        conv_inputs: dict[str, np.ndarray] = {}
+        logits: np.ndarray | None = None
+        remaining = _consumer_counts(network)
+
+        for idx, layer in enumerate(network.layers):
+            key = (layer.name, self._signature(layer.name, thresholds))
+            cached = self._cache.get(key)
+            if layer.kind == LayerKind.CONCAT:
+                src = None
+                if cached is None:
+                    parts = [outputs[s] for s in layer.input_from]
+                    src = np.concatenate(parts, axis=1)
+            else:
+                src = _producer_output(network, idx, layer, outputs, self.images)
+            if layer.kind == LayerKind.CONV and collect_conv_inputs:
+                conv_inputs[layer.name] = src
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.stats.hits += 1
+                out, layer_logits = cached
+            else:
+                self.stats.misses += 1
+                if layer.kind == LayerKind.CONCAT:
+                    out, layer_logits = src, None
+                else:
+                    out, layer_logits = apply_layer(layer, src, store, thresholds)
+                self._remember(key, out, layer_logits)
+            if layer_logits is not None:
+                logits = layer_logits
+            outputs[layer.name] = out
+            if not keep_outputs:
+                _release_consumed(network, idx, outputs, remaining)
+
+        return ForwardResult(
+            outputs=outputs if keep_outputs else {},
+            conv_inputs=conv_inputs,
+            logits=logits,
+        )

@@ -15,7 +15,15 @@ The engine supports:
 * per-layer *calibration shifts* (see :mod:`repro.nn.calibration`) which
   stand in for the learned biases of the pretrained models;
 * optional 16-bit fixed-point quantization at layer boundaries, matching
-  the accelerator datapath.
+  the accelerator datapath;
+* *batched* inference: a ``(batch, depth, H, W)`` image stack runs every
+  image through the network in one pass, bit-identical to per-image calls
+  (see :mod:`repro.nn.layers` for how the BLAS calls preserve this).
+
+Activations are computed in the input's floating dtype: a float32 image
+over float32 weights stays float32 end to end (integer inputs are promoted
+to float64).  Incremental re-use of activations across threshold
+configurations lives in :mod:`repro.nn.engine`.
 """
 
 from __future__ import annotations
@@ -28,7 +36,13 @@ from repro.nn import layers as F
 from repro.nn.network import LayerKind, LayerSpec, Network
 from repro.nn.tensor import FixedPointFormat, dequantize, quantize
 
-__all__ = ["WeightStore", "ForwardResult", "init_weights", "run_forward"]
+__all__ = [
+    "WeightStore",
+    "ForwardResult",
+    "init_weights",
+    "run_forward",
+    "apply_layer",
+]
 
 
 @dataclass
@@ -83,13 +97,15 @@ class ForwardResult:
     Attributes
     ----------
     outputs:
-        Output activation of every layer, by name.
+        Output activation of every layer, by name.  For a batched pass
+        every array carries the leading batch axis.
     conv_inputs:
         The activation array *consumed* by each conv layer — the neuron
         stream whose zeros CNV skips.  For grouped convolutions this is the
         full (ungrouped) input; the simulators handle the group split.
     logits:
-        Output of the last FC layer (before softmax), if any.
+        Output of the last FC layer (before softmax), if any — ``(classes,)``
+        per image, ``(batch, classes)`` for a batched pass.
     """
 
     outputs: dict[str, np.ndarray]
@@ -108,6 +124,8 @@ def _apply_shift(pre: np.ndarray, shift) -> np.ndarray:
     """Add a scalar or per-channel shift to a pre-activation array."""
     if np.ndim(shift) == 1 and pre.ndim == 3:
         return pre + np.asarray(shift).reshape(-1, 1, 1)
+    if np.ndim(shift) == 1 and pre.ndim == 4:
+        return pre + np.asarray(shift).reshape(1, -1, 1, 1)
     return pre + shift
 
 
@@ -127,6 +145,72 @@ def _producer_output(
     return outputs[layer.input_from[0]]
 
 
+def apply_layer(
+    layer: LayerSpec,
+    src: np.ndarray,
+    store: WeightStore,
+    thresholds: dict[str, float],
+    shift_fn=None,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Compute one layer's raw output from its (already gathered) input.
+
+    ``src`` is the layer's input activation — for CONCAT layers, pass the
+    already concatenated array.  Returns ``(out, logits)`` where ``logits``
+    is non-``None`` only for FC and SOFTMAX layers (the *pre-quantization*
+    logit vector).  Works on both single-image (3-D) and batched (4-D)
+    activations.  Quantization at the layer boundary is the caller's job.
+    """
+    batched = src.ndim == 4
+    if layer.kind == LayerKind.CONV:
+        pre = F.conv2d(
+            src,
+            store.weights[layer.name],
+            store.biases[layer.name],
+            stride=layer.stride,
+            pad=layer.pad,
+            groups=layer.groups,
+        )
+        if shift_fn is not None:
+            pre = _apply_shift(pre, shift_fn(layer.name, pre))
+        else:
+            pre = _apply_shift(pre, store.shift(layer.name))
+        if layer.fused_relu:
+            return F.threshold_relu(pre, thresholds.get(layer.name, 0.0)), None
+        return pre, None
+    if layer.kind == LayerKind.RELU:
+        return F.threshold_relu(src, thresholds.get(layer.name, 0.0)), None
+    if layer.kind == LayerKind.MAXPOOL:
+        return F.max_pool2d(src, layer.kernel, layer.stride, layer.pad), None
+    if layer.kind == LayerKind.AVGPOOL:
+        return F.avg_pool2d(src, layer.kernel, layer.stride, layer.pad), None
+    if layer.kind == LayerKind.LRN:
+        return F.lrn(src, local_size=layer.lrn_size), None
+    if layer.kind == LayerKind.DROPOUT:
+        return src, None  # identity at inference time
+    if layer.kind == LayerKind.FC:
+        pre = F.fully_connected(
+            src, store.weights[layer.name], store.biases[layer.name]
+        )
+        if shift_fn is not None:
+            pre = _apply_shift(pre, shift_fn(layer.name, pre))
+        else:
+            pre = _apply_shift(pre, store.shift(layer.name))
+        if layer.fused_relu:
+            pre = F.threshold_relu(pre, thresholds.get(layer.name, 0.0))
+        if batched:
+            out = pre.reshape(pre.shape[0], layer.num_filters, 1, 1)
+        else:
+            out = pre.reshape(layer.num_filters, 1, 1)
+        return out, pre
+    if layer.kind == LayerKind.SOFTMAX:
+        if batched:
+            logits = src.reshape(src.shape[0], -1)
+        else:
+            logits = src.reshape(-1)  # softmax input, FC or not (nin)
+        return F.softmax(logits).reshape(src.shape), logits
+    raise AssertionError(f"unhandled kind {layer.kind}")  # pragma: no cover
+
+
 def run_forward(
     network: Network,
     store: WeightStore,
@@ -138,12 +222,16 @@ def run_forward(
     shift_fn=None,
     formats: dict[str, FixedPointFormat] | None = None,
 ) -> ForwardResult:
-    """Run one image through the network.
+    """Run one image — or a stack of images — through the network.
 
     Parameters
     ----------
     network, store, image:
-        The network description, its weights, and a ``(depth, H, W)`` input.
+        The network description, its weights, and a ``(depth, H, W)`` input
+        or ``(batch, depth, H, W)`` stack.  The pass computes in the
+        image's floating dtype (integer images are promoted to float64).
+        A batched pass produces bit-identical arrays to running each image
+        separately, with every result carrying the leading batch axis.
     thresholds:
         Optional per-layer pruning thresholds (real-valued); applied to the
         post-ReLU output of the named conv/FC layers (Section V-E dynamic
@@ -168,7 +256,10 @@ def run_forward(
         paper's conclusion points at (Judd et al., "Stripes"); used by
         :mod:`repro.extensions.precision`.
     """
-    if image.shape != network.input_shape:
+    image = np.asarray(image)
+    if image.shape != network.input_shape and not (
+        image.ndim == 4 and image.shape[1:] == network.input_shape
+    ):
         raise ValueError(
             f"image shape {image.shape} != network input {network.input_shape}"
         )
@@ -189,60 +280,21 @@ def run_forward(
     consumers = _consumer_counts(network)
     remaining = dict(consumers)
 
-    image = maybe_quantize(np.asarray(image, dtype=np.float64))
+    if not np.issubdtype(image.dtype, np.floating):
+        image = image.astype(np.float64)
+    image = maybe_quantize(image)
 
     for idx, layer in enumerate(network.layers):
         if layer.kind == LayerKind.CONCAT:
             parts = [outputs[src] for src in layer.input_from]
-            out = np.concatenate(parts, axis=0)
+            out = np.concatenate(parts, axis=parts[0].ndim - 3)
         else:
             src = _producer_output(network, idx, layer, outputs, image)
-            if layer.kind == LayerKind.CONV:
-                if collect_conv_inputs:
-                    conv_inputs[layer.name] = src
-                pre = F.conv2d(
-                    src,
-                    store.weights[layer.name],
-                    store.biases[layer.name],
-                    stride=layer.stride,
-                    pad=layer.pad,
-                    groups=layer.groups,
-                )
-                if shift_fn is not None:
-                    pre = _apply_shift(pre, shift_fn(layer.name, pre))
-                else:
-                    pre = _apply_shift(pre, store.shift(layer.name))
-                if layer.fused_relu:
-                    out = F.threshold_relu(pre, thresholds.get(layer.name, 0.0))
-                else:
-                    out = pre
-            elif layer.kind == LayerKind.RELU:
-                out = F.threshold_relu(src, thresholds.get(layer.name, 0.0))
-            elif layer.kind == LayerKind.MAXPOOL:
-                out = F.max_pool2d(src, layer.kernel, layer.stride, layer.pad)
-            elif layer.kind == LayerKind.AVGPOOL:
-                out = F.avg_pool2d(src, layer.kernel, layer.stride, layer.pad)
-            elif layer.kind == LayerKind.LRN:
-                out = F.lrn(src, local_size=layer.lrn_size)
-            elif layer.kind == LayerKind.DROPOUT:
-                out = src  # identity at inference time
-            elif layer.kind == LayerKind.FC:
-                pre = F.fully_connected(
-                    src, store.weights[layer.name], store.biases[layer.name]
-                )
-                if shift_fn is not None:
-                    pre = _apply_shift(pre, shift_fn(layer.name, pre))
-                else:
-                    pre = _apply_shift(pre, store.shift(layer.name))
-                if layer.fused_relu:
-                    pre = F.threshold_relu(pre, thresholds.get(layer.name, 0.0))
-                out = pre.reshape(layer.num_filters, 1, 1)
-                logits = pre
-            elif layer.kind == LayerKind.SOFTMAX:
-                logits = src.reshape(-1)  # softmax input, FC or not (nin)
-                out = F.softmax(logits).reshape(src.shape)
-            else:  # pragma: no cover - guarded by LayerSpec validation
-                raise AssertionError(f"unhandled kind {layer.kind}")
+            if layer.kind == LayerKind.CONV and collect_conv_inputs:
+                conv_inputs[layer.name] = src
+            out, layer_logits = apply_layer(layer, src, store, thresholds, shift_fn)
+            if layer_logits is not None:
+                logits = layer_logits
 
         out = maybe_quantize(out, layer.name)
         outputs[layer.name] = out

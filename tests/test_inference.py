@@ -70,6 +70,35 @@ class TestForward:
         assert result.logits is not None
 
 
+class TestDtypePolicy:
+    def test_float32_stays_float32_end_to_end(self, rng):
+        """Regression: run_forward used to upcast every image to float64."""
+        net = tiny_net()
+        store = init_weights(net, rng)
+        store.weights = {k: v.astype(np.float32) for k, v in store.weights.items()}
+        store.biases = {k: v.astype(np.float32) for k, v in store.biases.items()}
+        image = rng.uniform(size=net.input_shape).astype(np.float32)
+        result = run_forward(net, store, image)
+        assert result.outputs["conv1"].dtype == np.float32
+        assert result.outputs["conv2"].dtype == np.float32
+        assert result.conv_inputs["conv2"].dtype == np.float32
+        assert result.logits.dtype == np.float32
+
+    def test_float64_preserved(self, rng):
+        net = tiny_net()
+        store = init_weights(net, rng)
+        image = rng.uniform(size=net.input_shape)  # float64
+        result = run_forward(net, store, image)
+        assert result.outputs["conv1"].dtype == np.float64
+
+    def test_integer_image_promoted_to_float64(self, rng):
+        net = tiny_net()
+        store = init_weights(net, rng)
+        image = rng.integers(0, 255, size=net.input_shape)
+        result = run_forward(net, store, image)
+        assert result.outputs["conv1"].dtype == np.float64
+
+
 class TestThresholds:
     def test_threshold_increases_zeros_downstream(self, rng):
         net = tiny_net()

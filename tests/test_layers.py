@@ -140,6 +140,84 @@ class TestPooling:
         assert F.max_pool2d(a, 2, 2).sum() == 0.0
 
 
+def _pool_reference(a, kernel, stride, pad, reducer):
+    """The pre-vectorization per-output-pixel pooling loop."""
+    padded = F.pad_input(a, pad)
+    out_y = F.conv_output_size(a.shape[1], kernel, stride, pad)
+    out_x = F.conv_output_size(a.shape[2], kernel, stride, pad)
+    out = np.empty((a.shape[0], out_y, out_x), dtype=a.dtype)
+    for oy in range(out_y):
+        y0 = oy * stride
+        y1 = min(y0 + kernel, padded.shape[1])
+        for ox in range(out_x):
+            x0 = ox * stride
+            x1 = min(x0 + kernel, padded.shape[2])
+            out[:, oy, ox] = reducer(padded[:, y0:y1, x0:x1])
+    return out
+
+
+def _lrn_reference(a, local_size=5, alpha=1e-4, beta=0.75, k=1.0):
+    """The pre-vectorization per-channel LRN loop."""
+    depth = a.shape[0]
+    half = local_size // 2
+    squared = a**2
+    sums = np.empty_like(a)
+    for z in range(depth):
+        lo = max(0, z - half)
+        hi = min(depth, z + half + 1)
+        sums[z] = squared[lo:hi].sum(axis=0)
+    return a / (k + (alpha / local_size) * sums) ** beta
+
+
+pool_cases = st.tuples(
+    st.integers(1, 5),  # depth
+    st.integers(3, 9),  # in_y
+    st.integers(3, 9),  # in_x
+    st.integers(1, 3),  # kernel
+    st.integers(1, 3),  # stride
+    st.integers(0, 1),  # pad
+)
+
+
+class TestPoolingVectorization:
+    """The stride-tricks pooling path is bit-identical to the old loop."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(pool_cases, st.integers(0, 2**32 - 1))
+    def test_max_pool_matches_loop_reference(self, case, seed):
+        depth, in_y, in_x, kernel, stride, pad = case
+        if in_y - kernel + 2 * pad < 0 or in_x - kernel + 2 * pad < 0:
+            return
+        a = np.random.default_rng(seed).normal(size=(depth, in_y, in_x))
+        expected = _pool_reference(
+            a, kernel, stride, pad, lambda w: w.reshape(w.shape[0], -1).max(axis=1)
+        )
+        assert np.array_equal(F.max_pool2d(a, kernel, stride, pad), expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(pool_cases, st.integers(0, 2**32 - 1))
+    def test_avg_pool_matches_loop_reference(self, case, seed):
+        depth, in_y, in_x, kernel, stride, pad = case
+        if in_y - kernel + 2 * pad < 0 or in_x - kernel + 2 * pad < 0:
+            return
+        a = np.random.default_rng(seed).normal(size=(depth, in_y, in_x))
+        expected = _pool_reference(
+            a, kernel, stride, pad, lambda w: w.reshape(w.shape[0], -1).mean(axis=1)
+        )
+        assert np.array_equal(F.avg_pool2d(a, kernel, stride, pad), expected)
+
+    def test_batched_pool_matches_per_image(self, rng):
+        a = rng.normal(size=(3, 4, 6, 6))
+        batched = F.max_pool2d(a, 3, 2, pad=1)
+        for b in range(3):
+            assert np.array_equal(batched[b], F.max_pool2d(a[b], 3, 2, pad=1))
+
+    def test_float32_pool_keeps_dtype(self, rng):
+        a = rng.normal(size=(2, 4, 4)).astype(np.float32)
+        assert F.max_pool2d(a, 2, 2).dtype == np.float32
+        assert F.avg_pool2d(a, 2, 2).dtype == np.float32
+
+
 class TestLrn:
     def test_shape_preserved(self, rng):
         a = np.abs(rng.normal(size=(8, 3, 3)))
@@ -155,6 +233,19 @@ class TestLrn:
     def test_normalizes_downward(self, rng):
         a = np.abs(rng.normal(size=(8, 3, 3))) * 10
         assert np.all(F.lrn(a) <= a + 1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 12), st.sampled_from([3, 5]), st.integers(0, 2**32 - 1))
+    def test_matches_per_channel_loop_reference(self, depth, local_size, seed):
+        a = np.random.default_rng(seed).normal(size=(depth, 4, 4))
+        expected = _lrn_reference(a, local_size=local_size)
+        assert np.array_equal(F.lrn(a, local_size=local_size), expected)
+
+    def test_batched_matches_per_image(self, rng):
+        a = rng.normal(size=(3, 8, 4, 4))
+        batched = F.lrn(a, local_size=5)
+        for b in range(3):
+            assert np.array_equal(batched[b], F.lrn(a[b], local_size=5))
 
 
 class TestFullyConnected:

@@ -93,6 +93,63 @@ class TestSearcher:
         assert best.accuracy == pytest.approx(0.9)
 
 
+class TestMemoization:
+    def counting_searcher(self, **kwargs):
+        calls = []
+        inner = synthetic_evaluate({"a": 1.0, "b": 4.0}, 20.0)
+
+        def evaluate(raw_thresholds):
+            calls.append(dict(raw_thresholds))
+            return inner(raw_thresholds)
+
+        searcher = ThresholdSearcher(
+            evaluate=evaluate,
+            layer_names=["a", "b"],
+            candidates=(0, 1, 2, 4),
+            **kwargs,
+        )
+        return searcher, calls
+
+    def test_repeated_configs_evaluated_once(self):
+        searcher, calls = self.counting_searcher()
+        searcher.search(tolerance=0.0)
+        searcher.search(tolerance=0.0)
+        keys = [searcher._memo_key(c) for c in calls]
+        assert len(keys) == len(set(keys))
+        assert searcher.cache_hits > 0
+
+    def test_sweep_reuses_overlapping_points(self):
+        searcher, calls = self.counting_searcher()
+        searcher.sweep([0.0, 0.01, 0.10])
+        # Every tolerance re-visits the all-zero baseline, but only the
+        # first visit reaches the evaluate callback.
+        assert sum(1 for c in calls if not any(c.values())) == 1
+        keys = [searcher._memo_key(c) for c in calls]
+        assert len(keys) == len(set(keys))
+
+    def test_history_records_cache_hits(self):
+        searcher, calls = self.counting_searcher()
+        searcher.search(tolerance=0.0)
+        evaluations = len(calls)
+        visits = len(searcher.history)
+        searcher.search(tolerance=0.0)
+        assert len(calls) == evaluations  # all replayed from the memo
+        assert len(searcher.history) > visits  # but history still grows
+
+    def test_key_ignores_zero_thresholds(self):
+        assert ThresholdSearcher._memo_key({"a": 0, "b": 2}) == (
+            ThresholdSearcher._memo_key({"b": 2})
+        )
+
+    def test_identical_searches_identical_results(self):
+        first, _ = self.counting_searcher()
+        second, _ = self.counting_searcher()
+        a = first.sweep([0.0, 0.05])
+        b = second.sweep([0.0, 0.05])
+        assert [p.raw_thresholds for p in a] == [p.raw_thresholds for p in b]
+        assert [p.speedup for p in a] == [p.speedup for p in b]
+
+
 class TestPareto:
     def test_dominated_points_removed(self):
         points = [
