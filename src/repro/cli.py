@@ -131,9 +131,13 @@ def _run_network(args) -> int:
         # on a process pool; the serial printing loop below then only
         # reads cached timing summaries.
         from repro.experiments.parallel import WorkUnit, execute_units
+        from repro.reliability import RetryPolicy
 
+        policy = RetryPolicy(
+            max_attempts=args.retries + 1, unit_timeout=args.unit_timeout
+        )
         units = [WorkUnit("timings", name, kind="timings") for name in names]
-        execute_units(config, units, jobs=args.jobs, arch=arch)
+        execute_units(config, units, jobs=args.jobs, arch=arch, policy=policy)
     ctx = ExperimentContext(config, arch=arch)
     for name in names:
         base = ctx.baseline_timing(name)
@@ -186,6 +190,14 @@ def main(argv: list[str] | None = None) -> int:
     network.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes to compute several networks' timings in parallel",
+    )
+    network.add_argument(
+        "--retries", type=int, default=2,
+        help="extra attempts per failed timing unit (with --jobs > 1)",
+    )
+    network.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per timing unit before its worker is killed",
     )
     _add_arch_args(network)
     network.set_defaults(func=_run_network)

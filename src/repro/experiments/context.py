@@ -24,6 +24,7 @@ from repro.experiments.config import PaperConfig
 from repro.experiments.manifest import ArtifactCache, config_fingerprint
 from repro.hw.config import PAPER_CONFIG, ArchConfig
 from repro.hw.counters import ActivityCounters
+from repro.reliability import FaultInjector
 from repro.hw.timing_types import LayerTiming, NetworkTiming
 from repro.nn.calibration import (
     PAPER_ZERO_FRACTIONS,
@@ -131,6 +132,10 @@ class ExperimentContext:
     ):
         self.config = config if config is not None else PaperConfig()
         self.arch = arch
+        # One injector per context: the artifact cache's fault sites
+        # (cache:read / cache:write) share trial counters with the unit
+        # sites the parallel runner fires against this same context.
+        self.injector = FaultInjector.from_env()
         self.artifacts = (
             artifacts
             if artifacts is not None
@@ -138,6 +143,7 @@ class ExperimentContext:
                 self.config.cache_dir,
                 config_fingerprint(self.config, arch),
                 enabled=self.config.use_cache,
+                injector=self.injector,
             )
         )
         self._networks: dict[str, NetworkContext] = {}

@@ -19,9 +19,16 @@ Two concerns live here because they are two halves of one contract:
 Cache layout (under ``PaperConfig.cache_dir``)::
 
     objects/<first two hex chars>/<sha256>.json
+    objects/quarantine/<sha256>.json        (damaged objects, see below)
 
 Writes go through a temp file + ``os.replace`` so concurrent workers
-never observe a half-written artifact.
+never observe a half-written artifact, and every object embeds a
+``sha256`` checksum of its payload.  Reads verify the object end to end
+— parseable JSON, the expected ``kind``, a payload whose recomputed
+checksum matches — and treat *any* damaged object as a cache miss: the
+file is moved to ``objects/quarantine/`` (for post-mortem inspection)
+and the artifact is recomputed.  A corrupt cache can therefore cost
+time, never correctness, and never a crash.
 """
 
 from __future__ import annotations
@@ -30,10 +37,11 @@ import hashlib
 import json
 import os
 import tempfile
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 
 from repro.hw.config import ArchConfig
+from repro.reliability.faults import FaultInjector
 
 __all__ = [
     "stable_hash",
@@ -48,6 +56,16 @@ def stable_hash(payload) -> str:
     """SHA-256 hex digest of a canonical JSON rendering of ``payload``."""
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _truncate_file(path: Path) -> None:
+    """Cut an object file in half (the ``cache:read=corrupt`` fault)."""
+    try:
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size // 2)
+    except OSError:
+        pass
 
 
 def config_fingerprint(config, arch: ArchConfig) -> dict:
@@ -69,14 +87,22 @@ def config_fingerprint(config, arch: ArchConfig) -> dict:
 class ArtifactCache:
     """Content-addressed JSON artifact store with hit/miss accounting."""
 
-    def __init__(self, root: Path, fingerprint: dict, enabled: bool = True):
+    def __init__(
+        self,
+        root: Path,
+        fingerprint: dict,
+        enabled: bool = True,
+        injector: FaultInjector | None = None,
+    ):
         self.root = Path(root)
         self.fingerprint = fingerprint
         self.enabled = enabled
         self.config_hash = stable_hash(fingerprint)
+        self.injector = injector if injector is not None else FaultInjector.from_env()
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     # addressing
@@ -94,26 +120,65 @@ class ArtifactCache:
     # ------------------------------------------------------------------
     # load / store
     # ------------------------------------------------------------------
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "objects" / "quarantine"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a damaged object aside so the slot can be recomputed."""
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / path.name)
+        except OSError:
+            pass  # already moved/deleted by a concurrent reader, or read-only
+        self.quarantined += 1
+
     def load(self, kind: str, **params):
-        """The cached payload, or None on a miss (or when disabled)."""
+        """The cached payload, or None on a miss (or when disabled).
+
+        A read failure is never worse than a miss: unreadable, truncated,
+        JSON-invalid, mis-addressed, or checksum-mismatched objects are
+        quarantined and reported as misses instead of raising.
+        """
         if not self.enabled:
             return None
         path = self.path(kind, **params)
+        if self.injector.fire("cache:read") == "corrupt":
+            _truncate_file(path)
         try:
             with open(path) as handle:
-                payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+                document = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        if (
+            not isinstance(document, dict)
+            or "payload" not in document
+            or document.get("kind") != kind
+            or document.get("sha256") != stable_hash(document["payload"])
+        ):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
-        return payload["payload"]
+        return document["payload"]
 
     def store(self, kind: str, payload, **params) -> None:
         if not self.enabled:
             return
+        self.injector.fire("cache:write")
         path = self.path(kind, **params)
         path.parent.mkdir(parents=True, exist_ok=True)
-        document = {"kind": kind, "params": params, "payload": payload}
+        document = {
+            "kind": kind,
+            "params": params,
+            "payload": payload,
+            "sha256": stable_hash(payload),
+        }
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
@@ -140,7 +205,12 @@ class ArtifactCache:
     # accounting
     # ------------------------------------------------------------------
     def counters(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "quarantined": self.quarantined,
+        }
 
     def delta_since(self, snapshot: dict[str, int]) -> dict[str, int]:
         return {name: getattr(self, name) - snapshot[name] for name in snapshot}
@@ -153,20 +223,23 @@ class UnitRecord:
     unit: str  # e.g. "fig9:alex"
     experiment: str
     network: str | None
-    phase: str  # "parallel" | "serial" | "assembly"
+    phase: str  # "parallel" | "serial" | "assembly" | "carried"
     worker: int  # os.getpid() of whoever ran it
     seconds: float
     cache_hits: int = 0
     cache_misses: int = 0
-    status: str = "ok"
+    status: str = "ok"  # "ok" | "error" | "timeout" | "crashed"
     error: str = ""
+    attempts: int = 1  # total tries this record summarizes
+    traceback: str = ""  # full traceback of the last failed attempt
 
     def to_dict(self) -> dict:
         return asdict(self)
 
     @classmethod
     def from_dict(cls, payload: dict) -> "UnitRecord":
-        return cls(**payload)
+        known = {item.name for item in fields(cls)}
+        return cls(**{key: value for key, value in payload.items() if key in known})
 
 
 @dataclass
@@ -184,11 +257,21 @@ class RunManifest:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_stores: int = 0
+    cache_quarantined: int = 0
 
     def add_unit(self, record: UnitRecord) -> None:
         self.units.append(record)
         self.cache_hits += record.cache_hits
         self.cache_misses += record.cache_misses
+
+    def completed_units(self) -> set[str]:
+        """Labels of units that finished successfully (``--resume`` skips
+        these; everything else re-executes)."""
+        return {
+            unit.unit
+            for unit in self.units
+            if unit.status == "ok" and unit.phase in ("parallel", "carried")
+        }
 
     @property
     def hit_rate(self) -> float:
@@ -197,7 +280,7 @@ class RunManifest:
 
     def to_dict(self) -> dict:
         return {
-            "version": 1,
+            "version": 2,
             "scale": self.scale,
             "seed": self.seed,
             "networks": list(self.networks),
@@ -209,6 +292,7 @@ class RunManifest:
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
                 "stores": self.cache_stores,
+                "quarantined": self.cache_quarantined,
                 "hit_rate": self.hit_rate,
             },
             "units": [unit.to_dict() for unit in self.units],
@@ -237,6 +321,7 @@ class RunManifest:
         for unit in payload.get("units", []):
             manifest.add_unit(UnitRecord.from_dict(unit))
         manifest.cache_stores = payload.get("cache", {}).get("stores", 0)
+        manifest.cache_quarantined = payload.get("cache", {}).get("quarantined", 0)
         return manifest
 
     def profile_table(self) -> str:
@@ -251,6 +336,7 @@ class RunManifest:
                 "seconds": unit.seconds,
                 "hits": unit.cache_hits,
                 "misses": unit.cache_misses,
+                "attempts": unit.attempts,
                 "status": unit.status,
             }
             for unit in sorted(self.units, key=lambda u: -u.seconds)
@@ -261,4 +347,10 @@ class RunManifest:
             f"cache {self.cache_hits} hits / {self.cache_misses} misses "
             f"({self.hit_rate:.0%} hit rate) =="
         )
-        return header + "\n" + format_table(rows)
+        parts = [header, format_table(rows)]
+        failed = [unit for unit in self.units if unit.status != "ok"]
+        for unit in failed:
+            parts.append(f"\n-- {unit.unit} failed ({unit.status}): {unit.error}")
+            if unit.traceback:
+                parts.append(unit.traceback.rstrip("\n"))
+        return "\n".join(parts)

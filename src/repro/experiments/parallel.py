@@ -17,23 +17,34 @@ pass: the unchanged serial experiment loop, which finds all expensive
 artifacts already cached and therefore reproduces the serial paper-order
 output exactly (floats survive the JSON round-trip bit-for-bit).
 
-Worker failures are recorded in the unit's manifest entry rather than
-aborting the pool; the assembly pass will recompute whatever the failed
-unit did not cache (and surface any real error in paper order).
+Failure handling (see :mod:`repro.reliability`): every unit gets
+``RetryPolicy.max_attempts`` tries with deterministic exponential
+backoff between attempts.  A worker that dies (``BrokenProcessPool``) or
+blows its wall-clock budget takes its pool down; the pool is respawned
+and only incomplete units are resubmitted — completed units keep their
+records, and retried units find their finished artifacts in the cache,
+so a retry costs far less than the first attempt.  Units that exhaust
+their attempts are *recorded* as failed rather than aborting the run;
+the assembly pass decides whether that is fatal (``--strict``) or
+degrades to explicitly-marked partial tables.
 """
 
 from __future__ import annotations
 
 import os
 import time
+import traceback
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
+from typing import Callable
 
 from repro.experiments.config import PaperConfig
 from repro.experiments.context import ExperimentContext
 from repro.experiments.manifest import UnitRecord
 from repro.hw.config import PAPER_CONFIG, ArchConfig
+from repro.reliability import FaultInjector, RetryPolicy
 
 __all__ = ["WorkUnit", "plan_units", "execute_units", "run_unit", "run_chain"]
 
@@ -72,6 +83,13 @@ class WorkUnit:
             return self.network
         return f"@{self.label}"
 
+    @property
+    def fault_site(self) -> str:
+        """This unit's fault-injection site name, e.g. ``unit:fig9/nin``."""
+        if self.kind == "smallcnn":
+            return f"unit:{self.experiment}/smallcnn"
+        return f"unit:{self.experiment}/{self.network or 'all'}"
+
 
 def plan_units(config: PaperConfig, names: list[str]) -> list[WorkUnit]:
     """Decompose the selected experiments into work units, paper order."""
@@ -90,20 +108,32 @@ def plan_units(config: PaperConfig, names: list[str]) -> list[WorkUnit]:
     return units
 
 
-def run_unit(ctx: ExperimentContext, unit: WorkUnit, phase: str = "parallel") -> UnitRecord:
+def run_unit(
+    ctx: ExperimentContext,
+    unit: WorkUnit,
+    phase: str = "parallel",
+    attempt: int = 0,
+    injector: FaultInjector | None = None,
+) -> UnitRecord:
     """Execute one work unit against ``ctx``; returns its manifest record.
 
     The valuable output is the set of derived artifacts persisted to the
-    content-addressed cache — per-unit aggregates are discarded.
+    content-addressed cache — per-unit aggregates are discarded.  The
+    fault site ``unit:<experiment>/<network>`` fires with the attempt
+    number as its trial index, so a ``@0`` rule fails exactly the first
+    try and lets the retry succeed.
     """
     from repro.experiments.fig14_pruning import smallcnn_tradeoff
     from repro.experiments.runner import EXPERIMENTS
     from repro.experiments.thresholds import sweep_deltas
 
+    if injector is None:
+        injector = FaultInjector.from_env()
     start = time.time()
     snapshot = ctx.artifacts.counters()
-    status, error = "ok", ""
+    status, error, trace = "ok", "", ""
     try:
+        injector.fire(unit.fault_site, trial=attempt)
         if unit.kind == "sweep":
             sweep_deltas(ctx, unit.network)
         elif unit.kind == "smallcnn":
@@ -113,8 +143,9 @@ def run_unit(ctx: ExperimentContext, unit: WorkUnit, phase: str = "parallel") ->
             ctx.cnv_timing(unit.network)
         else:
             EXPERIMENTS[unit.experiment](ctx)
-    except Exception as exc:  # recorded; assembly surfaces real failures
+    except Exception as exc:  # recorded; the caller decides retry vs surface
         status, error = "error", f"{type(exc).__name__}: {exc}"
+        trace = traceback.format_exc()
     delta = ctx.artifacts.delta_since(snapshot)
     return UnitRecord(
         unit=unit.label,
@@ -127,23 +158,86 @@ def run_unit(ctx: ExperimentContext, unit: WorkUnit, phase: str = "parallel") ->
         cache_misses=delta["misses"],
         status=status,
         error=error,
+        attempts=attempt + 1,
+        traceback=trace,
     )
 
 
 def run_chain(
-    config: PaperConfig, arch: ArchConfig, units: list[WorkUnit]
+    config: PaperConfig,
+    arch: ArchConfig,
+    units: list[WorkUnit],
+    attempts: list[int] | None = None,
 ) -> list[UnitRecord]:
     """Execute one affinity chain in this process, sharing one context.
 
     All units in a chain target the same network (or are a singleton), so
     a single context restricted to that network lets later units reuse
     the forwards and calibration earlier units already built in memory —
-    zero duplicate computation inside a run.
+    zero duplicate computation inside a run.  ``attempts`` carries each
+    unit's 0-based attempt number across pool respawns.
     """
+    if attempts is None:
+        attempts = [0] * len(units)
     network = units[0].network
     cfg = replace(config, networks=[network]) if network is not None else config
     ctx = ExperimentContext(cfg, arch=arch)
-    return [run_unit(ctx, unit) for unit in units]
+    injector = FaultInjector.from_env()
+    return [
+        run_unit(ctx, unit, attempt=attempt, injector=injector)
+        for unit, attempt in zip(units, attempts)
+    ]
+
+
+def _worker_chain(
+    config: PaperConfig,
+    arch: ArchConfig,
+    units: list[WorkUnit],
+    attempts: list[int],
+) -> list[UnitRecord]:
+    """Pool entry point: fire the ``pool:worker`` fault site, then run.
+
+    ``pool:worker=crash`` rules hard-kill this process here, which the
+    parent observes as a ``BrokenProcessPool`` — the same signal a
+    segfault or the OOM killer produces.
+    """
+    FaultInjector.from_env().fire("pool:worker")
+    return run_chain(config, arch, units, attempts)
+
+
+def _lost_unit_record(unit: WorkUnit, attempt: int, status: str, error: str) -> UnitRecord:
+    """Record for a unit whose worker died or hung before reporting."""
+    return UnitRecord(
+        unit=unit.label,
+        experiment=unit.experiment,
+        network=unit.network,
+        phase="parallel",
+        worker=0,
+        seconds=0.0,
+        status=status,
+        error=error,
+        attempts=attempt + 1,
+    )
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor, kill: bool) -> None:
+    """Tear a pool down; with ``kill`` terminate workers first (hung or
+    crashed pools cannot drain their queues on their own)."""
+    processes = list(getattr(pool, "_processes", {}).values()) if kill else []
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=not kill, cancel_futures=True)
+    except Exception:
+        pass
+    for process in processes:
+        try:
+            process.join(timeout=5.0)
+        except Exception:
+            pass
 
 
 def execute_units(
@@ -151,47 +245,163 @@ def execute_units(
     units: list[WorkUnit],
     jobs: int,
     arch: ArchConfig = PAPER_CONFIG,
+    policy: RetryPolicy | None = None,
+    checkpoint: Callable[[list[UnitRecord]], None] | None = None,
 ) -> list[UnitRecord]:
-    """Run the units on a process pool, one task per affinity chain.
+    """Run the units under ``policy``; one pool task per affinity chain.
 
-    Returns records in planning order regardless of completion order, so
-    the manifest is deterministic up to timings/worker ids.
+    Returns final records in planning order regardless of completion
+    order, so the manifest is deterministic up to timings/worker ids.
+    ``checkpoint`` (if given) is invoked with the records-so-far after
+    every unit reaches a final state, which is what makes a killed run
+    resumable from its manifest.
+
+    Pool-only semantics: per-unit wall-clock timeouts and ``pool:worker``
+    faults need a killable worker process, so they apply only on the
+    ``jobs > 1`` path; the serial path still retries with backoff.
     """
-    chains: "OrderedDict[str, list[tuple[int, WorkUnit]]]" = OrderedDict()
+    policy = policy if policy is not None else RetryPolicy()
+    chains: "OrderedDict[str, list[int]]" = OrderedDict()
     for index, unit in enumerate(units):
-        chains.setdefault(unit.affinity, []).append((index, unit))
+        chains.setdefault(unit.affinity, []).append(index)
 
-    records: dict[int, UnitRecord] = {}
+    final: dict[int, UnitRecord] = {}
+
+    def finalize(index: int, record: UnitRecord) -> None:
+        final[index] = record
+        if checkpoint is not None:
+            checkpoint([final[i] for i in sorted(final)])
+
     if jobs <= 1 or len(chains) <= 1:
-        for chain in chains.values():
-            indices = [index for index, _ in chain]
-            chain_units = [unit for _, unit in chain]
-            for index, record in zip(indices, run_chain(config, arch, chain_units)):
-                records[index] = record
-        return [records[index] for index in sorted(records)]
+        for indices in chains.values():
+            chain_units = [units[i] for i in indices]
+            network = chain_units[0].network
+            cfg = replace(config, networks=[network]) if network is not None else config
+            ctx = ExperimentContext(cfg, arch=arch)
+            injector = FaultInjector.from_env()
+            for index, unit in zip(indices, chain_units):
+                attempt = 0
+                while True:
+                    record = run_unit(ctx, unit, attempt=attempt, injector=injector)
+                    if record.status == "ok" or not policy.retries_left(attempt):
+                        finalize(index, record)
+                        break
+                    time.sleep(policy.delay(unit.label, attempt))
+                    attempt += 1
+        return [final[index] for index in sorted(final)]
 
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = {}
-        for affinity, chain in chains.items():
-            chain_units = [unit for _, unit in chain]
-            futures[pool.submit(run_chain, config, arch, chain_units)] = chain
-        for future, chain in futures.items():
-            try:
-                chain_records = future.result()
-            except Exception as exc:  # pool/pickling failure
-                chain_records = [
-                    UnitRecord(
-                        unit=unit.label,
-                        experiment=unit.experiment,
-                        network=unit.network,
-                        phase="parallel",
-                        worker=0,
-                        seconds=0.0,
-                        status="error",
-                        error=f"{type(exc).__name__}: {exc}",
-                    )
-                    for _, unit in chain
+    pending: dict[int, int] = {index: 0 for index in range(len(units))}
+
+    def handle_failure(index: int, record: UnitRecord, delays: list[float]) -> None:
+        attempt = pending[index]
+        if policy.retries_left(attempt):
+            pending[index] = attempt + 1
+            delays.append(policy.delay(units[index].label, attempt))
+        else:
+            finalize(index, record)
+            pending.pop(index, None)
+
+    while pending:
+        round_chains: "OrderedDict[str, list[int]]" = OrderedDict()
+        for index in sorted(pending):
+            round_chains.setdefault(units[index].affinity, []).append(index)
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        futures: dict = {}
+        submitted = time.monotonic()
+        for indices in round_chains.values():
+            chain_units = [units[i] for i in indices]
+            chain_attempts = [pending[i] for i in indices]
+            future = pool.submit(_worker_chain, config, arch, chain_units, chain_attempts)
+            budget = policy.chain_timeout(len(chain_units))
+            deadline = None if budget is None else submitted + budget
+            futures[future] = (indices, deadline)
+        delays: list[float] = []
+        killed = False
+        try:
+            while futures:
+                deadlines = [d for _, d in futures.values() if d is not None]
+                timeout = None
+                if deadlines:
+                    timeout = max(0.0, min(deadlines) - time.monotonic())
+                done, _ = wait(set(futures), timeout=timeout, return_when=FIRST_COMPLETED)
+                crashed = False
+                for future in done:
+                    indices, _ = futures.pop(future)
+                    try:
+                        chain_records = future.result()
+                    except BrokenProcessPool as exc:
+                        # A worker died mid-round.  Attribution is ambiguous
+                        # (every in-flight future raises), so every
+                        # uncollected unit burns an attempt — retried units
+                        # replay cheaply from the artifact cache.
+                        crashed = True
+                        for i in indices:
+                            handle_failure(
+                                i,
+                                _lost_unit_record(
+                                    units[i], pending[i], "crashed",
+                                    f"worker process died: {exc}",
+                                ),
+                                delays,
+                            )
+                        continue
+                    except Exception as exc:  # pickling/submission failure
+                        for i in indices:
+                            handle_failure(
+                                i,
+                                _lost_unit_record(
+                                    units[i], pending[i], "error",
+                                    f"{type(exc).__name__}: {exc}",
+                                ),
+                                delays,
+                            )
+                        continue
+                    for i, record in zip(indices, chain_records):
+                        if record.status == "ok":
+                            finalize(i, record)
+                            pending.pop(i, None)
+                        else:
+                            handle_failure(i, record, delays)
+                if crashed:
+                    for future, (indices, _) in list(futures.items()):
+                        for i in indices:
+                            handle_failure(
+                                i,
+                                _lost_unit_record(
+                                    units[i], pending[i], "crashed",
+                                    "worker pool broke before this chain reported",
+                                ),
+                                delays,
+                            )
+                    futures.clear()
+                    killed = True
+                    break
+                now = time.monotonic()
+                expired = [
+                    future
+                    for future, (_, deadline) in futures.items()
+                    if deadline is not None and now >= deadline and not future.done()
                 ]
-            for (index, _), record in zip(chain, chain_records):
-                records[index] = record
-    return [records[index] for index in sorted(records)]
+                if expired:
+                    for future in expired:
+                        indices, _ = futures.pop(future)
+                        for i in indices:
+                            handle_failure(
+                                i,
+                                _lost_unit_record(
+                                    units[i], pending[i], "timeout",
+                                    f"exceeded the {policy.unit_timeout}s/unit "
+                                    "wall-clock budget",
+                                ),
+                                delays,
+                            )
+                    # The hung worker cannot be cancelled, only killed; the
+                    # round's survivors are resubmitted without burning an
+                    # attempt and replay from the cache.
+                    killed = True
+                    break
+        finally:
+            _shutdown_pool(pool, kill=killed)
+        if delays and pending:
+            time.sleep(max(delays))
+    return [final[index] for index in sorted(final)]

@@ -16,6 +16,15 @@ shared artifact cache, so the output is identical to ``--jobs 1``.  Every
 run records a :class:`~repro.experiments.manifest.RunManifest` (per-unit
 wall time, worker id, cache hit/miss counters); ``--profile`` prints it
 and ``--manifest PATH`` writes it as JSON.
+
+Fault tolerance (see :mod:`repro.reliability`): failed units retry with
+exponential backoff (``--retries``), hung workers are killed after a
+per-unit wall-clock budget (``--unit-timeout``), the manifest is
+checkpointed incrementally as units finish, and ``--resume MANIFEST``
+re-executes only the units a previous (killed or failed) run did not
+complete.  Assembly degrades gracefully by default — an experiment that
+still cannot compute emits an explicitly-marked FAILED table instead of
+aborting the run — while ``--strict`` restores fail-fast.
 """
 
 from __future__ import annotations
@@ -24,6 +33,8 @@ import argparse
 import os
 import sys
 import time
+import traceback
+from pathlib import Path
 
 from repro.experiments import (
     fig1_zero_fraction,
@@ -40,6 +51,7 @@ from repro.experiments.config import SCALES, PaperConfig
 from repro.experiments.context import ExperimentContext
 from repro.experiments.manifest import RunManifest, UnitRecord
 from repro.experiments.report import ExperimentResult, results_to_json_doc
+from repro.reliability import RetryPolicy
 
 __all__ = ["EXPERIMENTS", "run_all", "run_all_with_manifest", "main"]
 
@@ -67,12 +79,39 @@ def _validate_names(names: list[str]) -> None:
         )
 
 
+def _validate_networks(networks: list[str]) -> None:
+    """Reject unknown network names before anything runs — an unknown
+    network is an input error (exit 2), not a degradable unit failure."""
+    from repro.nn.models import NETWORK_BUILDERS
+
+    unknown = [name for name in networks if name not in NETWORK_BUILDERS]
+    if unknown:
+        raise KeyError(
+            f"unknown network(s) {unknown!r}; choose from {sorted(NETWORK_BUILDERS)}"
+        )
+
+
+def _failed_result(name: str, exc: Exception) -> ExperimentResult:
+    """The explicitly-marked placeholder a failed experiment assembles to."""
+    return ExperimentResult(
+        experiment=name,
+        title=f"{name} FAILED",
+        rows=[{"status": "FAILED", "error": f"{type(exc).__name__}: {exc}"}],
+        notes="experiment failed after retries; rerun with --strict to "
+        "fail fast, or --resume the manifest to re-execute it",
+    )
+
+
 def run_all_with_manifest(
     config: PaperConfig | None = None,
     only: list[str] | None = None,
     verbose: bool = True,
     charts: bool = False,
     jobs: int = 1,
+    policy: RetryPolicy | None = None,
+    strict: bool = True,
+    resume: Path | str | None = None,
+    checkpoint_path: Path | str | None = None,
 ) -> tuple[list[ExperimentResult], RunManifest]:
     """Run the selected experiments; returns (results, run manifest).
 
@@ -80,12 +119,28 @@ def run_all_with_manifest(
     pool first (warming the content-addressed artifact cache), then
     assembles the results with the same serial loop ``jobs == 1`` uses —
     the printed tables and JSON are identical either way.
+
+    ``policy`` governs per-unit retries/timeouts (default
+    :class:`~repro.reliability.RetryPolicy`).  ``resume`` names a prior
+    run's manifest: its successfully-completed units are carried over
+    (phase ``carried``) and only failed/missing units re-execute.
+    ``checkpoint_path`` (set automatically by the CLI) persists the
+    manifest incrementally after every unit, so a killed run is
+    resumable.  With ``strict`` false, an experiment that still fails in
+    assembly yields an explicitly-marked FAILED table instead of raising.
     """
     from repro.experiments import charts as chart_mod
+    from repro.experiments.parallel import execute_units, plan_units
 
     config = config if config is not None else PaperConfig()
+    prior = None
+    if resume is not None:
+        prior = RunManifest.load(resume)
+        if only is None and prior.experiments:
+            only = list(prior.experiments)
     names = list(only) if only is not None else list(EXPERIMENTS)
     _validate_names(names)
+    _validate_networks(list(config.networks))
 
     ctx = ExperimentContext(config)
     manifest = RunManifest(
@@ -98,24 +153,74 @@ def run_all_with_manifest(
     )
     run_start = time.time()
 
-    if jobs > 1:
-        from repro.experiments.parallel import execute_units, plan_units
-
-        units = plan_units(config, names)
-        for record in execute_units(config, units, jobs=jobs, arch=ctx.arch):
+    completed: set[str] = set()
+    carried: list[UnitRecord] = []
+    if prior is not None:
+        if prior.config_hash != ctx.artifacts.config_hash:
+            raise ValueError(
+                "--resume manifest was produced by a different configuration "
+                f"(config_hash {prior.config_hash[:12]} != "
+                f"{ctx.artifacts.config_hash[:12]}); rerun without --resume"
+            )
+        completed = prior.completed_units()
+        for record in prior.units:
+            if record.unit in completed and record.phase in ("parallel", "carried"):
+                carried.append(
+                    UnitRecord.from_dict({**record.to_dict(), "phase": "carried"})
+                )
+        for record in carried:
             manifest.add_unit(record)
 
-    phase = "assembly" if jobs > 1 else "serial"
+    def checkpoint(records: list[UnitRecord]) -> None:
+        if checkpoint_path is None:
+            return
+        snapshot = RunManifest(
+            scale=manifest.scale,
+            seed=manifest.seed,
+            networks=list(manifest.networks),
+            jobs=manifest.jobs,
+            config_hash=manifest.config_hash,
+            experiments=list(manifest.experiments),
+            wall_seconds=time.time() - run_start,
+        )
+        for record in carried:
+            snapshot.add_unit(record)
+        for record in records:
+            snapshot.add_unit(record)
+        snapshot.save(checkpoint_path)
+
+    if jobs > 1 or resume is not None:
+        units = [
+            unit
+            for unit in plan_units(config, names)
+            if unit.label not in completed
+        ]
+        for record in execute_units(
+            config, units, jobs=jobs, arch=ctx.arch,
+            policy=policy, checkpoint=checkpoint,
+        ):
+            manifest.add_unit(record)
+
+    unit_phase_ran = jobs > 1 or resume is not None
+    phase = "assembly" if unit_phase_ran else "serial"
     results = []
     for name in names:
         snapshot = ctx.artifacts.counters()
         start = time.time()
-        result = EXPERIMENTS[name](ctx)
+        status, error, trace = "ok", "", ""
+        try:
+            result = EXPERIMENTS[name](ctx)
+        except Exception as exc:
+            if strict:
+                raise
+            status, error = "error", f"{type(exc).__name__}: {exc}"
+            trace = traceback.format_exc()
+            result = _failed_result(name, exc)
         results.append(result)
         delta = ctx.artifacts.delta_since(snapshot)
         manifest.add_unit(
             UnitRecord(
-                unit=f"{name}:{phase}" if jobs > 1 else name,
+                unit=f"{name}:{phase}" if unit_phase_ran else name,
                 experiment=name,
                 network=None,
                 phase=phase,
@@ -123,6 +228,9 @@ def run_all_with_manifest(
                 seconds=time.time() - start,
                 cache_hits=delta["hits"],
                 cache_misses=delta["misses"],
+                status=status,
+                error=error,
+                traceback=trace,
             )
         )
         if verbose:
@@ -135,6 +243,7 @@ def run_all_with_manifest(
             print(f"[{name} took {time.time() - start:.1f}s]\n")
     manifest.wall_seconds = time.time() - run_start
     manifest.cache_stores = ctx.artifacts.stores
+    manifest.cache_quarantined = ctx.artifacts.quarantined
     if verbose:
         from repro.experiments.summary import headline_summary
 
@@ -150,10 +259,15 @@ def run_all(
     verbose: bool = True,
     charts: bool = False,
     jobs: int = 1,
+    **kwargs,
 ) -> list[ExperimentResult]:
-    """Run the selected experiments; returns results (manifest discarded)."""
+    """Run the selected experiments; returns results (manifest discarded).
+
+    Keyword arguments (``policy``, ``strict``, ``resume``, …) pass
+    through to :func:`run_all_with_manifest`.
+    """
     results, _ = run_all_with_manifest(
-        config, only=only, verbose=verbose, charts=charts, jobs=jobs
+        config, only=only, verbose=verbose, charts=charts, jobs=jobs, **kwargs
     )
     return results
 
@@ -172,6 +286,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for the (experiment x network) work units",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2,
+        help="extra attempts per failed work unit (exponential backoff "
+        "with deterministic jitter between attempts)",
+    )
+    parser.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per work unit before its worker is "
+        "presumed hung and killed (--jobs > 1 only)",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="MANIFEST",
+        help="re-execute only the units this prior run manifest does not "
+        "record as completed",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail fast on the first experiment that cannot assemble "
+        "(default: emit an explicitly-marked FAILED table and continue)",
     )
     parser.add_argument(
         "--no-smallcnn", action="store_true",
@@ -201,19 +335,39 @@ def main(argv: list[str] | None = None) -> int:
         kwargs["networks"] = args.networks.split(",")
     config = PaperConfig(**kwargs)
     only = args.only.split(",") if args.only else None
+    if args.retries < 0:
+        print("error: --retries must be >= 0", file=sys.stderr)
+        return 2
+    policy = RetryPolicy(
+        max_attempts=args.retries + 1,
+        unit_timeout=args.unit_timeout,
+        seed=args.seed,
+    )
+    manifest_path = args.manifest
+    if manifest_path is None and (args.jobs > 1 or args.resume):
+        manifest_path = config.cache_dir / "manifests" / "latest.json"
     try:
         results, manifest = run_all_with_manifest(
-            config, only=only, charts=args.charts, jobs=args.jobs
+            config,
+            only=only,
+            charts=args.charts,
+            jobs=args.jobs,
+            policy=policy,
+            strict=args.strict,
+            resume=args.resume,
+            checkpoint_path=manifest_path,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    except (ValueError, OSError) as exc:
+        if args.resume:  # unreadable/mismatched resume manifest
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        raise
     if args.profile:
         print(manifest.profile_table())
         print()
-    manifest_path = args.manifest
-    if manifest_path is None and args.jobs > 1:
-        manifest_path = config.cache_dir / "manifests" / "latest.json"
     if manifest_path is not None:
         manifest.save(manifest_path)
         print(f"wrote manifest {manifest_path}")
@@ -227,6 +381,17 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.json, "w") as handle:
             handle.write(results_to_json_doc(results))
         print(f"wrote {args.json}")
+    degraded = [
+        unit for unit in manifest.units
+        if unit.phase in ("assembly", "serial") and unit.status != "ok"
+    ]
+    if degraded:
+        print(
+            f"warning: {len(degraded)} experiment(s) emitted FAILED tables: "
+            + ", ".join(unit.experiment for unit in degraded),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -53,6 +53,35 @@ __all__ = [
 DEFAULT_CACHE_MB = 512.0
 
 
+def _cache_budget_bytes() -> int:
+    """The ``CNVLUTIN_ENGINE_CACHE_MB`` budget in bytes, validated.
+
+    A non-numeric, negative, or non-finite value falls back to the
+    default with a warning — a bad environment variable must never make
+    an import or a first forward pass raise.
+    """
+    import math
+    import warnings
+
+    raw = os.environ.get("CNVLUTIN_ENGINE_CACHE_MB")
+    if raw is None:
+        return int(DEFAULT_CACHE_MB * 1024 * 1024)
+    try:
+        budget_mb = float(raw)
+    except ValueError:
+        budget_mb = -1.0
+    if not math.isfinite(budget_mb) or budget_mb < 0:
+        warnings.warn(
+            f"ignoring invalid CNVLUTIN_ENGINE_CACHE_MB={raw!r} "
+            f"(expected a non-negative number); using the default "
+            f"{DEFAULT_CACHE_MB:g} MiB",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        budget_mb = DEFAULT_CACHE_MB
+    return int(budget_mb * 1024 * 1024)
+
+
 def _is_prunable(layer: LayerSpec) -> bool:
     """Can a Section V-E threshold change this layer's output directly?"""
     if layer.kind in (LayerKind.CONV, LayerKind.FC):
@@ -157,11 +186,7 @@ class IncrementalForwardEngine:
         self.scopes = threshold_scopes(network)
         self.stats = EngineStats()
         if cache_bytes is None:
-            cache_bytes = int(
-                float(os.environ.get("CNVLUTIN_ENGINE_CACHE_MB", DEFAULT_CACHE_MB))
-                * 1024
-                * 1024
-            )
+            cache_bytes = _cache_budget_bytes()
         self.cache_bytes = cache_bytes
         # (layer_name, signature) -> (out, logits); LRU order.
         self._cache: OrderedDict[tuple, tuple[np.ndarray, np.ndarray | None]] = (

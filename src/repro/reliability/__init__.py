@@ -1,0 +1,35 @@
+"""Fault tolerance for the experiment pipeline.
+
+Two halves, used together by :mod:`repro.experiments.parallel` and
+:mod:`repro.experiments.manifest`:
+
+* :mod:`repro.reliability.policy` — :class:`RetryPolicy`: how many times
+  a work unit is attempted, how long each attempt may run, and the
+  deterministic exponential-backoff-with-jitter schedule between
+  attempts.
+* :mod:`repro.reliability.faults` — a deterministic, seedable
+  fault-injection harness driven by the ``CNVLUTIN_FAULTS`` environment
+  variable.  Production code calls :meth:`FaultInjector.fire` at named
+  *sites* (``unit:fig9/nin``, ``cache:read``, ``pool:worker``); with no
+  spec configured those calls are no-ops, and under a spec they raise,
+  crash, delay, or corrupt on chosen trial indices so the chaos test
+  suite can prove the pipeline converges anyway.
+"""
+
+from repro.reliability.faults import (
+    FaultAction,
+    FaultInjector,
+    FaultRule,
+    InjectedFault,
+    parse_faults,
+)
+from repro.reliability.policy import RetryPolicy
+
+__all__ = [
+    "RetryPolicy",
+    "FaultAction",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
+    "parse_faults",
+]

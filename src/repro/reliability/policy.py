@@ -1,0 +1,76 @@
+"""Retry policy: attempt budgets, timeouts, deterministic backoff.
+
+The backoff schedule is *deterministic and seedable*: the jitter for a
+given (unit label, attempt) pair is derived from a SHA-256 of the policy
+seed and those coordinates, not from global random state.  Two runs with
+the same seed therefore sleep the same amounts in the same places, which
+keeps chaos tests reproducible and lets a resumed run behave exactly
+like the run it replaced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "hash_fraction"]
+
+
+def hash_fraction(*coordinates) -> float:
+    """Deterministic pseudo-random fraction in [0, 1) for a coordinate tuple."""
+    blob = "|".join(str(part) for part in coordinates).encode("utf-8")
+    digest = hashlib.sha256(blob).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the runner treats a work unit that fails, hangs, or crashes.
+
+    max_attempts:
+        Total tries per unit (1 = the old fail-fast behaviour).
+    backoff_base / backoff_factor / backoff_max:
+        Attempt ``n`` (0-based) that fails waits
+        ``min(backoff_max, backoff_base * backoff_factor**n)`` seconds,
+        scaled by jitter, before it is resubmitted.
+    jitter:
+        Fractional spread around the exponential delay: the actual sleep
+        is ``delay * (1 + jitter * u)`` with ``u`` a deterministic value
+        in [-1, 1) derived from (seed, unit label, attempt).
+    unit_timeout:
+        Wall-clock seconds one unit may run before its worker is
+        presumed hung and killed (pool mode only; ``None`` disables).
+        A chain of ``k`` units gets ``k * unit_timeout``.
+    seed:
+        Seeds the jitter (and nothing else).
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    jitter: float = 0.1
+    unit_timeout: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.unit_timeout is not None and self.unit_timeout <= 0:
+            raise ValueError("unit_timeout must be positive (or None)")
+
+    def delay(self, unit_label: str, attempt: int) -> float:
+        """Seconds to wait before re-running ``unit_label``'s next attempt."""
+        base = min(self.backoff_max, self.backoff_base * self.backoff_factor**attempt)
+        spread = 2.0 * hash_fraction(self.seed, unit_label, attempt) - 1.0
+        return max(0.0, base * (1.0 + self.jitter * spread))
+
+    def chain_timeout(self, num_units: int) -> float | None:
+        """Wall-clock budget for a chain of ``num_units`` units."""
+        if self.unit_timeout is None:
+            return None
+        return self.unit_timeout * max(1, num_units)
+
+    def retries_left(self, attempt: int) -> bool:
+        """May a unit whose 0-based ``attempt`` just failed try again?"""
+        return attempt + 1 < self.max_attempts

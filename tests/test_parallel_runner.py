@@ -118,6 +118,7 @@ class TestArtifactCache:
             "hits": 1,
             "misses": 1,
             "stores": 1,
+            "quarantined": 0,
         }
 
     def test_get_or_compute(self, cache):
@@ -291,7 +292,7 @@ class TestRunManifest:
         loaded = RunManifest.load(path)
         assert loaded.to_dict() == manifest.to_dict()
         payload = json.loads(path.read_text())
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["cache"]["hit_rate"] == pytest.approx(0.7)
 
     def test_profile_table_sorted_by_wall_time(self):
@@ -342,6 +343,28 @@ class TestCliFlags:
         code = main(["--scale", "tiny", "--only", "fig99"])
         assert code == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_bad_network_exits_2_with_message(self, tmp_path, capsys, monkeypatch):
+        # An unknown network is an input error: it must exit 2 before any
+        # experiment runs, not degrade into FAILED tables (exit 1).
+        from repro.experiments.runner import main
+
+        monkeypatch.setenv("CNVLUTIN_CACHE_DIR", str(tmp_path / "cache"))
+        code = main(["--scale", "tiny", "--networks", "bogus"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown network" in captured.err
+        assert captured.out == ""
+
+    def test_bad_network_exits_2_on_sim_cli(self, tmp_path, capsys, monkeypatch):
+        # cnvlutin-sim validates the positional via argparse choices.
+        from repro.cli import main
+
+        monkeypatch.setenv("CNVLUTIN_CACHE_DIR", str(tmp_path / "cache"))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["network", "bogus", "--scale", "tiny"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
 
 
 class TestDiffResultDocs:
