@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 import numpy as np
 
@@ -120,9 +121,13 @@ def _run_layer(args) -> int:
 
 
 def _run_network(args) -> int:
+    from repro import obs
     from repro.experiments.config import PaperConfig
     from repro.experiments.context import ExperimentContext
 
+    if args.trace:
+        obs.enable_tracing()
+    start = time.perf_counter()
     arch = _arch_from_args(args)
     names = args.name
     config = PaperConfig(scale=args.scale, networks=list(names))
@@ -158,6 +163,22 @@ def _run_network(args) -> int:
               f"({name} @ {args.scale} scale)")
         if name != names[-1]:
             print()
+    if args.metrics:
+        from repro.obs.report import metrics_report
+
+        print()
+        print(metrics_report({
+            "version": 3,
+            "scale": args.scale,
+            "jobs": args.jobs,
+            "wall_seconds": time.perf_counter() - start,
+            "units": [],
+            "cache": ctx.artifacts.counters(),
+            "metrics": obs.get_metrics().snapshot(),
+        }))
+    if args.trace:
+        written = obs.write_chrome_trace(args.trace)
+        print(f"\nwrote trace {args.trace} ({written} events)")
     return 0
 
 
@@ -198,6 +219,16 @@ def main(argv: list[str] | None = None) -> int:
     network.add_argument(
         "--unit-timeout", type=float, default=None, metavar="SECONDS",
         help="wall-clock budget per timing unit before its worker is killed",
+    )
+    network.add_argument(
+        "--trace", default=None, metavar="TRACE_JSON",
+        help="record spans and write a Chrome trace-event file "
+        "(open in Perfetto or chrome://tracing)",
+    )
+    network.add_argument(
+        "--metrics", action="store_true",
+        help="print the observability report (per-layer compute, cache "
+        "hit rates) after the timings",
     )
     _add_arch_args(network)
     network.set_defaults(func=_run_network)

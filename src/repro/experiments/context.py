@@ -229,7 +229,7 @@ class ExperimentContext:
         if name not in self._engines:
             ctx = self.network_ctx(name)
             self._engines[name] = IncrementalForwardEngine(
-                ctx.network, ctx.store, np.stack(ctx.images)
+                ctx.network, ctx.store, np.stack(ctx.images), label=name
             )
         return self._engines[name]
 
@@ -266,6 +266,7 @@ class ExperimentContext:
                     "baseline_timing", timing_to_payload(timing), network=name
                 )
                 self._baseline_timings[name] = timing
+            self._publish_activity(self._baseline_timings[name])
         return self._baseline_timings[name]
 
     def cnv_timing(
@@ -292,7 +293,24 @@ class ExperimentContext:
             timing = cnv_network_timing(ctx.network, fwd.conv_inputs, self.arch)
             self.artifacts.store("cnv_timing", timing_to_payload(timing), **params)
         self._cnv_timings[key] = timing
+        # The unpruned first-image timing is the canonical activity
+        # profile of (architecture, network); pruned-config variants
+        # would drown it in near-duplicates.
+        if not thresholds and image_index == 0:
+            self._publish_activity(timing)
         return timing
+
+    @staticmethod
+    def _publish_activity(timing: NetworkTiming) -> None:
+        """Export a timing's merged ActivityCounters as obs gauges.
+
+        Gauges (``activity.<architecture>.<network>.<counter>``) restate
+        a derived fact, so re-materializing the same timing in another
+        process merges idempotently instead of double counting.
+        """
+        timing.counters().publish(
+            f"activity.{timing.architecture}.{timing.network}"
+        )
 
     def speedup(
         self,

@@ -40,6 +40,7 @@ import tempfile
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 
+from repro import obs
 from repro.hw.config import ArchConfig
 from repro.reliability.faults import FaultInjector
 
@@ -132,6 +133,7 @@ class ArtifactCache:
         except OSError:
             pass  # already moved/deleted by a concurrent reader, or read-only
         self.quarantined += 1
+        obs.counter_add("artifact.quarantined")
 
     def load(self, kind: str, **params):
         """The cached payload, or None on a miss (or when disabled).
@@ -150,10 +152,12 @@ class ArtifactCache:
                 document = json.load(handle)
         except FileNotFoundError:
             self.misses += 1
+            obs.counter_add("artifact.misses")
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             self._quarantine(path)
             self.misses += 1
+            obs.counter_add("artifact.misses")
             return None
         if (
             not isinstance(document, dict)
@@ -163,8 +167,10 @@ class ArtifactCache:
         ):
             self._quarantine(path)
             self.misses += 1
+            obs.counter_add("artifact.misses")
             return None
         self.hits += 1
+        obs.counter_add("artifact.hits")
         return document["payload"]
 
     def store(self, kind: str, payload, **params) -> None:
@@ -191,6 +197,7 @@ class ArtifactCache:
                 pass
             raise
         self.stores += 1
+        obs.counter_add("artifact.stores")
 
     def get_or_compute(self, kind: str, compute, **params):
         """Load ``kind``; on a miss run ``compute()`` and persist it."""
@@ -258,6 +265,9 @@ class RunManifest:
     cache_misses: int = 0
     cache_stores: int = 0
     cache_quarantined: int = 0
+    #: Merged :mod:`repro.obs.metrics` snapshot (schema v3; empty when
+    #: loaded from a v2 manifest).
+    metrics: dict = field(default_factory=dict)
 
     def add_unit(self, record: UnitRecord) -> None:
         self.units.append(record)
@@ -280,7 +290,7 @@ class RunManifest:
 
     def to_dict(self) -> dict:
         return {
-            "version": 2,
+            "version": 3,
             "scale": self.scale,
             "seed": self.seed,
             "networks": list(self.networks),
@@ -295,6 +305,7 @@ class RunManifest:
                 "quarantined": self.cache_quarantined,
                 "hit_rate": self.hit_rate,
             },
+            "metrics": self.metrics,
             "units": [unit.to_dict() for unit in self.units],
         }
 
@@ -322,6 +333,9 @@ class RunManifest:
             manifest.add_unit(UnitRecord.from_dict(unit))
         manifest.cache_stores = payload.get("cache", {}).get("stores", 0)
         manifest.cache_quarantined = payload.get("cache", {}).get("quarantined", 0)
+        # v2 manifests predate the metrics snapshot; load them tolerantly.
+        metrics = payload.get("metrics", {})
+        manifest.metrics = metrics if isinstance(metrics, dict) else {}
         return manifest
 
     def profile_table(self) -> str:
@@ -347,7 +361,19 @@ class RunManifest:
             f"cache {self.cache_hits} hits / {self.cache_misses} misses "
             f"({self.hit_rate:.0%} hit rate) =="
         )
-        parts = [header, format_table(rows)]
+        parts = [header]
+        counters = self.metrics.get("counters", {})
+        engine_hits = counters.get("engine.cache.hits", 0)
+        engine_misses = counters.get("engine.cache.misses", 0)
+        engine_total = engine_hits + engine_misses
+        if engine_total:
+            parts.append(
+                f"engine cache: {engine_hits:.0f} hits / "
+                f"{engine_misses:.0f} misses / "
+                f"{counters.get('engine.cache.evictions', 0):.0f} evictions "
+                f"({engine_hits / engine_total:.0%} hit rate)"
+            )
+        parts.append(format_table(rows))
         failed = [unit for unit in self.units if unit.status != "ok"]
         for unit in failed:
             parts.append(f"\n-- {unit.unit} failed ({unit.status}): {unit.error}")

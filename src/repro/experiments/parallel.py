@@ -40,6 +40,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import Callable
 
+from repro import obs
 from repro.experiments.config import PaperConfig
 from repro.experiments.context import ExperimentContext
 from repro.experiments.manifest import UnitRecord
@@ -129,23 +130,29 @@ def run_unit(
 
     if injector is None:
         injector = FaultInjector.from_env()
-    start = time.time()
+    start = time.perf_counter()
     snapshot = ctx.artifacts.counters()
     status, error, trace = "ok", "", ""
-    try:
-        injector.fire(unit.fault_site, trial=attempt)
-        if unit.kind == "sweep":
-            sweep_deltas(ctx, unit.network)
-        elif unit.kind == "smallcnn":
-            smallcnn_tradeoff(ctx)
-        elif unit.kind == "timings":
-            ctx.baseline_timing(unit.network)
-            ctx.cnv_timing(unit.network)
-        else:
-            EXPERIMENTS[unit.experiment](ctx)
-    except Exception as exc:  # recorded; the caller decides retry vs surface
-        status, error = "error", f"{type(exc).__name__}: {exc}"
-        trace = traceback.format_exc()
+    with obs.span(
+        f"unit:{unit.label}", cat="unit", unit=unit.label, attempt=attempt,
+        phase=phase, kind=unit.kind,
+    ) as unit_span:
+        try:
+            injector.fire(unit.fault_site, trial=attempt)
+            if unit.kind == "sweep":
+                sweep_deltas(ctx, unit.network)
+            elif unit.kind == "smallcnn":
+                smallcnn_tradeoff(ctx)
+            elif unit.kind == "timings":
+                ctx.baseline_timing(unit.network)
+                ctx.cnv_timing(unit.network)
+            else:
+                EXPERIMENTS[unit.experiment](ctx)
+        except Exception as exc:  # recorded; the caller decides retry vs surface
+            status, error = "error", f"{type(exc).__name__}: {exc}"
+            trace = traceback.format_exc()
+        unit_span.set(status=status)
+    obs.counter_add(f"unit.attempts.{status}")
     delta = ctx.artifacts.delta_since(snapshot)
     return UnitRecord(
         unit=unit.label,
@@ -153,7 +160,7 @@ def run_unit(
         network=unit.network,
         phase=phase,
         worker=os.getpid(),
-        seconds=time.time() - start,
+        seconds=time.perf_counter() - start,
         cache_hits=delta["hits"],
         cache_misses=delta["misses"],
         status=status,
@@ -194,15 +201,29 @@ def _worker_chain(
     arch: ArchConfig,
     units: list[WorkUnit],
     attempts: list[int],
-) -> list[UnitRecord]:
+    trace: bool = False,
+) -> dict:
     """Pool entry point: fire the ``pool:worker`` fault site, then run.
 
     ``pool:worker=crash`` rules hard-kill this process here, which the
     parent observes as a ``BrokenProcessPool`` — the same signal a
     segfault or the OOM killer produces.
+
+    Returns ``{"records", "events", "metrics"}``: alongside the unit
+    records, the worker drains its span buffer (when ``trace`` asked for
+    tracing) and takes a metrics snapshot, so the parent can merge both
+    into one coherent per-run trace/registry.  Draining per task means a
+    reused worker never re-ships what it already reported.
     """
+    if trace:
+        obs.enable_tracing()
     FaultInjector.from_env().fire("pool:worker")
-    return run_chain(config, arch, units, attempts)
+    records = run_chain(config, arch, units, attempts)
+    return {
+        "records": records,
+        "events": obs.drain_events() if trace else [],
+        "metrics": obs.take_snapshot(),
+    }
 
 
 def _lost_unit_record(unit: WorkUnit, attempt: int, status: str, error: str) -> UnitRecord:
@@ -311,7 +332,10 @@ def execute_units(
         for indices in round_chains.values():
             chain_units = [units[i] for i in indices]
             chain_attempts = [pending[i] for i in indices]
-            future = pool.submit(_worker_chain, config, arch, chain_units, chain_attempts)
+            future = pool.submit(
+                _worker_chain, config, arch, chain_units, chain_attempts,
+                trace=obs.tracing_enabled(),
+            )
             budget = policy.chain_timeout(len(chain_units))
             deadline = None if budget is None else submitted + budget
             futures[future] = (indices, deadline)
@@ -328,7 +352,10 @@ def execute_units(
                 for future in done:
                     indices, _ = futures.pop(future)
                     try:
-                        chain_records = future.result()
+                        payload = future.result()
+                        chain_records = payload["records"]
+                        obs.extend_events(payload["events"])
+                        obs.merge_snapshot(payload["metrics"])
                     except BrokenProcessPool as exc:
                         # A worker died mid-round.  Attribution is ambiguous
                         # (every in-flight future raises), so every

@@ -17,6 +17,13 @@ run records a :class:`~repro.experiments.manifest.RunManifest` (per-unit
 wall time, worker id, cache hit/miss counters); ``--profile`` prints it
 and ``--manifest PATH`` writes it as JSON.
 
+Observability (see :mod:`repro.obs`): ``--trace trace.json`` records
+per-layer, per-unit, per-attempt, and per-experiment spans — worker
+processes included — and writes them as one Chrome trace-event file;
+``--metrics`` prints the self-time/cache/retry report after the run
+(also available later from the saved manifest via ``repro-obs report``).
+The merged metrics snapshot is embedded in the manifest (schema v3).
+
 Fault tolerance (see :mod:`repro.reliability`): failed units retry with
 exponential backoff (``--retries``), hung workers are killed after a
 per-unit wall-clock budget (``--unit-timeout``), the manifest is
@@ -36,6 +43,7 @@ import time
 import traceback
 from pathlib import Path
 
+from repro import obs
 from repro.experiments import (
     fig1_zero_fraction,
     fig9_speedup,
@@ -151,7 +159,7 @@ def run_all_with_manifest(
         config_hash=ctx.artifacts.config_hash,
         experiments=names,
     )
-    run_start = time.time()
+    run_start = time.perf_counter()
 
     completed: set[str] = set()
     carried: list[UnitRecord] = []
@@ -181,7 +189,7 @@ def run_all_with_manifest(
             jobs=manifest.jobs,
             config_hash=manifest.config_hash,
             experiments=list(manifest.experiments),
-            wall_seconds=time.time() - run_start,
+            wall_seconds=time.perf_counter() - run_start,
         )
         for record in carried:
             snapshot.add_unit(record)
@@ -206,16 +214,20 @@ def run_all_with_manifest(
     results = []
     for name in names:
         snapshot = ctx.artifacts.counters()
-        start = time.time()
+        start = time.perf_counter()
         status, error, trace = "ok", "", ""
-        try:
-            result = EXPERIMENTS[name](ctx)
-        except Exception as exc:
-            if strict:
-                raise
-            status, error = "error", f"{type(exc).__name__}: {exc}"
-            trace = traceback.format_exc()
-            result = _failed_result(name, exc)
+        with obs.span(
+            f"experiment:{name}", cat="experiment", experiment=name, phase=phase
+        ) as exp_span:
+            try:
+                result = EXPERIMENTS[name](ctx)
+            except Exception as exc:
+                if strict:
+                    raise
+                status, error = "error", f"{type(exc).__name__}: {exc}"
+                trace = traceback.format_exc()
+                result = _failed_result(name, exc)
+            exp_span.set(status=status)
         results.append(result)
         delta = ctx.artifacts.delta_since(snapshot)
         manifest.add_unit(
@@ -225,7 +237,7 @@ def run_all_with_manifest(
                 network=None,
                 phase=phase,
                 worker=os.getpid(),
-                seconds=time.time() - start,
+                seconds=time.perf_counter() - start,
                 cache_hits=delta["hits"],
                 cache_misses=delta["misses"],
                 status=status,
@@ -240,10 +252,13 @@ def run_all_with_manifest(
                 if rendered:
                     print()
                     print(rendered)
-            print(f"[{name} took {time.time() - start:.1f}s]\n")
-    manifest.wall_seconds = time.time() - run_start
+            print(f"[{name} took {time.perf_counter() - start:.1f}s]\n")
+    manifest.wall_seconds = time.perf_counter() - run_start
     manifest.cache_stores = ctx.artifacts.stores
     manifest.cache_quarantined = ctx.artifacts.quarantined
+    # Merged snapshot: the parent registry already folded in every worker
+    # snapshot as its chain completed (schema v3).
+    manifest.metrics = obs.get_metrics().snapshot()
     if verbose:
         from repro.experiments.summary import headline_summary
 
@@ -321,6 +336,17 @@ def main(argv: list[str] | None = None) -> int:
         help="write the run manifest JSON here "
         "(default with --jobs > 1: <cache_dir>/manifests/latest.json)",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="TRACE_JSON",
+        help="enable span tracing and write a Chrome trace-event file "
+        "(open in Perfetto or chrome://tracing); worker-process spans "
+        "are merged into one timeline",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the observability report (self-time per layer/"
+        "network/experiment, cache hit rates, retries) after the run",
+    )
     parser.add_argument("--output", default=None, help="also write tables to a file")
     parser.add_argument("--json", default=None, help="write results as JSON")
     args = parser.parse_args(argv)
@@ -346,6 +372,8 @@ def main(argv: list[str] | None = None) -> int:
     manifest_path = args.manifest
     if manifest_path is None and (args.jobs > 1 or args.resume):
         manifest_path = config.cache_dir / "manifests" / "latest.json"
+    if args.trace:
+        obs.enable_tracing()
     try:
         results, manifest = run_all_with_manifest(
             config,
@@ -368,6 +396,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.profile:
         print(manifest.profile_table())
         print()
+    if args.metrics:
+        from repro.obs.report import metrics_report
+
+        print(metrics_report(manifest.to_dict()))
+        print()
+    if args.trace:
+        written = obs.write_chrome_trace(args.trace)
+        print(f"wrote trace {args.trace} ({written} events)")
     if manifest_path is not None:
         manifest.save(manifest_path)
         print(f"wrote manifest {manifest_path}")

@@ -79,6 +79,20 @@ class ActivityCounters:
     def as_dict(self) -> dict[str, float]:
         return dict(self.counts)
 
+    def publish(self, prefix: str) -> None:
+        """Export every count as an ``<prefix>.<name>`` gauge in the
+        process metrics registry (:mod:`repro.obs.metrics`).
+
+        Gauges, not counters: an activity profile is a derived fact about
+        a (workload, architecture) pair, so republishing it — from a
+        cache hit, another worker, or the assembly pass — must be
+        idempotent under snapshot merging.
+        """
+        from repro import obs
+
+        for name, value in self.counts.items():
+            obs.gauge_set(f"{prefix}.{name}", value)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         body = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
         return f"ActivityCounters({body})"

@@ -27,11 +27,13 @@ recomputation under tiny budgets rather than failing.
 from __future__ import annotations
 
 import os
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.nn.inference import (
     ForwardResult,
     WeightStore,
@@ -156,6 +158,11 @@ class IncrementalForwardEngine:
     cache_bytes:
         LRU budget for cached layer outputs; defaults to the
         ``CNVLUTIN_ENGINE_CACHE_MB`` environment variable (512 MiB).
+    label:
+        Attribution label (typically the network name) for this engine's
+        observability output: per-layer compute times are recorded as
+        ``nn.layer.<label>.<layer>`` histograms and per-layer spans carry
+        it, so a report can say *which network's* conv2 dominated.
 
     The engine intentionally does not support the quantization (``fmt``/
     ``formats``) or calibration (``shift_fn``) hooks of ``run_forward`` —
@@ -169,6 +176,7 @@ class IncrementalForwardEngine:
         store: WeightStore,
         images: np.ndarray,
         cache_bytes: int | None = None,
+        label: str | None = None,
     ):
         images = np.asarray(images)
         if images.ndim == 3:
@@ -183,6 +191,7 @@ class IncrementalForwardEngine:
         self.network = network
         self.store = store
         self.images = images
+        self.label = label if label is not None else network.name
         self.scopes = threshold_scopes(network)
         self.stats = EngineStats()
         if cache_bytes is None:
@@ -217,6 +226,7 @@ class IncrementalForwardEngine:
                 old_logits.nbytes if old_logits is not None else 0
             )
             self.stats.evictions += 1
+            obs.counter_add("engine.cache.evictions")
 
     def run(
         self,
@@ -238,35 +248,55 @@ class IncrementalForwardEngine:
         conv_inputs: dict[str, np.ndarray] = {}
         logits: np.ndarray | None = None
         remaining = _consumer_counts(network)
+        obs.counter_add("engine.runs")
 
-        for idx, layer in enumerate(network.layers):
-            key = (layer.name, self._signature(layer.name, thresholds))
-            cached = self._cache.get(key)
-            if layer.kind == LayerKind.CONCAT:
-                src = None
-                if cached is None:
-                    parts = [outputs[s] for s in layer.input_from]
-                    src = np.concatenate(parts, axis=1)
-            else:
-                src = _producer_output(network, idx, layer, outputs, self.images)
-            if layer.kind == LayerKind.CONV and collect_conv_inputs:
-                conv_inputs[layer.name] = src
-            if cached is not None:
-                self._cache.move_to_end(key)
-                self.stats.hits += 1
-                out, layer_logits = cached
-            else:
-                self.stats.misses += 1
+        with obs.span(
+            "engine.run", cat="nn", network=self.label, batch=self.batch,
+            thresholds=len(thresholds),
+        ):
+            for idx, layer in enumerate(network.layers):
+                key = (layer.name, self._signature(layer.name, thresholds))
+                cached = self._cache.get(key)
                 if layer.kind == LayerKind.CONCAT:
-                    out, layer_logits = src, None
+                    src = None
+                    if cached is None:
+                        parts = [outputs[s] for s in layer.input_from]
+                        src = np.concatenate(parts, axis=1)
                 else:
-                    out, layer_logits = apply_layer(layer, src, store, thresholds)
-                self._remember(key, out, layer_logits)
-            if layer_logits is not None:
-                logits = layer_logits
-            outputs[layer.name] = out
-            if not keep_outputs:
-                _release_consumed(network, idx, outputs, remaining)
+                    src = _producer_output(network, idx, layer, outputs, self.images)
+                if layer.kind == LayerKind.CONV and collect_conv_inputs:
+                    conv_inputs[layer.name] = src
+                with obs.span(
+                    f"layer:{layer.name}", cat="nn", network=self.label,
+                    kind=layer.kind, hit=cached is not None,
+                ) as layer_span:
+                    if cached is not None:
+                        self._cache.move_to_end(key)
+                        self.stats.hits += 1
+                        obs.counter_add("engine.cache.hits")
+                        out, layer_logits = cached
+                    else:
+                        self.stats.misses += 1
+                        obs.counter_add("engine.cache.misses")
+                        compute_start = time.perf_counter()
+                        if layer.kind == LayerKind.CONCAT:
+                            out, layer_logits = src, None
+                        else:
+                            out, layer_logits = apply_layer(
+                                layer, src, store, thresholds
+                            )
+                        obs.observe(
+                            f"nn.layer.{self.label}.{layer.name}",
+                            time.perf_counter() - compute_start,
+                        )
+                        self._remember(key, out, layer_logits)
+                    if obs.tracing_enabled():
+                        layer_span.set(shape=str(out.shape))
+                if layer_logits is not None:
+                    logits = layer_logits
+                outputs[layer.name] = out
+                if not keep_outputs:
+                    _release_consumed(network, idx, outputs, remaining)
 
         return ForwardResult(
             outputs=outputs if keep_outputs else {},

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.nn import layers as F
 from repro.nn.network import LayerKind, LayerSpec, Network
 from repro.nn.tensor import FixedPointFormat, dequantize, quantize
@@ -285,19 +286,25 @@ def run_forward(
     image = maybe_quantize(image)
 
     for idx, layer in enumerate(network.layers):
-        if layer.kind == LayerKind.CONCAT:
-            parts = [outputs[src] for src in layer.input_from]
-            out = np.concatenate(parts, axis=parts[0].ndim - 3)
-        else:
-            src = _producer_output(network, idx, layer, outputs, image)
-            if layer.kind == LayerKind.CONV and collect_conv_inputs:
-                conv_inputs[layer.name] = src
-            out, layer_logits = apply_layer(layer, src, store, thresholds, shift_fn)
-            if layer_logits is not None:
-                logits = layer_logits
+        with obs.span(
+            f"layer:{layer.name}", cat="nn", network=network.name,
+            kind=layer.kind,
+        ) as layer_span:
+            if layer.kind == LayerKind.CONCAT:
+                parts = [outputs[src] for src in layer.input_from]
+                out = np.concatenate(parts, axis=parts[0].ndim - 3)
+            else:
+                src = _producer_output(network, idx, layer, outputs, image)
+                if layer.kind == LayerKind.CONV and collect_conv_inputs:
+                    conv_inputs[layer.name] = src
+                out, layer_logits = apply_layer(layer, src, store, thresholds, shift_fn)
+                if layer_logits is not None:
+                    logits = layer_logits
 
-        out = maybe_quantize(out, layer.name)
-        outputs[layer.name] = out
+            out = maybe_quantize(out, layer.name)
+            outputs[layer.name] = out
+            if obs.tracing_enabled():
+                layer_span.set(shape=str(out.shape))
 
         if not keep_outputs:
             _release_consumed(network, idx, outputs, remaining)

@@ -1,0 +1,198 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+The metrics half of :mod:`repro.obs`.  One :class:`MetricsRegistry` per
+process absorbs every counter bag the pipeline already keeps —
+:class:`~repro.nn.engine.EngineStats` (``engine.cache.*``), the
+:class:`~repro.experiments.manifest.ArtifactCache` accounting
+(``artifact.*``), retry/backoff scheduling from
+:mod:`repro.reliability` (``retry.*``, ``faults.*``), the simulators'
+:class:`~repro.hw.counters.ActivityCounters`
+(``activity.<architecture>.<network>.*``), and per-layer forward compute
+times (``nn.layer.<network>.<layer>`` histograms) — under one dotted
+namespace (the full table lives in EXPERIMENTS.md, "Observability").
+
+Unlike tracing, metrics are always on: every instrument is a dict update
+behind one lock, which is noise next to the work being counted.  Worker
+processes ship :meth:`MetricsRegistry.snapshot` back through the pool;
+the parent :meth:`~MetricsRegistry.merge_snapshot`-s them (counters and
+histograms accumulate, gauges are idempotent re-statements of derived
+facts and merge by last-wins), and the merged snapshot is serialized
+into the run manifest (schema v3) for ``repro-obs report`` to read
+without rerunning anything.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "reset_metrics",
+    "counter_add",
+    "gauge_set",
+    "observe",
+    "take_snapshot",
+    "merge_snapshot",
+]
+
+
+class Histogram:
+    """Streaming summary of observed values (count/total/min/max)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+    def merge_dict(self, payload: dict) -> None:
+        count = int(payload.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(payload.get("total", 0.0))
+        self.min = min(self.min, float(payload.get("min", float("inf"))))
+        self.max = max(self.max, float(payload.get("max", float("-inf"))))
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms with snapshot/merge."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # instruments
+    # ------------------------------------------------------------------
+    def counter_add(self, name: str, amount: float = 1.0) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def gauge_set(self, name: str, value: float) -> None:
+        with self._lock:
+            self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram()
+            histogram.observe(value)
+
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self.counters.get(name, 0.0)
+
+    # ------------------------------------------------------------------
+    # snapshot / merge (the cross-process contract)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe view of everything recorded so far."""
+        with self._lock:
+            return {
+                "pid": os.getpid(),
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "histograms": {
+                    name: histogram.to_dict()
+                    for name, histogram in self.histograms.items()
+                },
+            }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's snapshot in (counters/histograms sum,
+        gauges last-wins — they restate derived facts idempotently)."""
+        if not snapshot:
+            return
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0.0) + value
+            for name, value in snapshot.get("gauges", {}).items():
+                self.gauges[name] = value
+            for name, payload in snapshot.get("histograms", {}).items():
+                histogram = self.histograms.get(name)
+                if histogram is None:
+                    histogram = self.histograms[name] = Histogram()
+                histogram.merge_dict(payload)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def _after_fork_in_child() -> None:
+    """A forked worker starts from zero so the snapshot it ships back
+    covers only its own work (no double counting of pre-fork totals)."""
+    _REGISTRY._lock = threading.Lock()
+    _REGISTRY.reset()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch
+    os.register_at_fork(after_in_child=_after_fork_in_child)
+
+
+def get_metrics() -> MetricsRegistry:
+    """This process's registry (one per process, reset in forked children)."""
+    return _REGISTRY
+
+
+def reset_metrics() -> None:
+    _REGISTRY.reset()
+
+
+def counter_add(name: str, amount: float = 1.0) -> None:
+    _REGISTRY.counter_add(name, amount)
+
+
+def gauge_set(name: str, value: float) -> None:
+    _REGISTRY.gauge_set(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    _REGISTRY.observe(name, value)
+
+
+def take_snapshot() -> dict:
+    """Snapshot *and reset* — what a pool worker ships back per task, so
+    a reused worker never re-ships counts it already reported."""
+    snapshot = _REGISTRY.snapshot()
+    _REGISTRY.reset()
+    return snapshot
+
+
+def merge_snapshot(snapshot: dict) -> None:
+    _REGISTRY.merge_snapshot(snapshot)

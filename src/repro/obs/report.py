@@ -1,0 +1,217 @@
+"""``repro-obs`` — render observability reports from run manifests.
+
+Answers "where did the time go and how did the caches behave" from any
+saved run manifest (schema v3; v2 manifests load with empty metrics)
+without rerunning a single experiment::
+
+    repro-obs report manifest.json
+    repro-obs report manifest.json --top 10
+    python -m repro.obs.report report manifest.json
+
+The report is assembled from the manifest's unit records plus the merged
+metrics snapshot the run serialized (see :mod:`repro.obs.metrics`):
+
+* self-time by experiment and the slowest work units (per-unit seconds,
+  attempts, cache traffic);
+* per-layer and per-network forward-compute breakdowns from the
+  ``nn.layer.<network>.<layer>`` histograms (the answer to "which
+  layer's forward dominates");
+* engine-cache hit rate (``engine.cache.*``), artifact-cache
+  store/hit/quarantine counts, and retry/backoff/fault-injection
+  summaries.
+
+The experiment runner's ``--metrics`` flag prints the same report for
+the run it just finished.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["metrics_report", "main"]
+
+
+def _format_table(rows: list[dict]) -> str:
+    from repro.experiments.report import format_table
+
+    return format_table(rows)
+
+
+def _layer_rows(histograms: dict, top: int) -> tuple[list[dict], list[dict]]:
+    """(per-layer rows, per-network rows) from ``nn.layer.*`` histograms."""
+    layers: list[dict] = []
+    networks: dict[str, dict] = {}
+    for name, payload in histograms.items():
+        if not name.startswith("nn.layer."):
+            continue
+        _, _, rest = name.partition("nn.layer.")
+        network, _, layer = rest.partition(".")
+        count = int(payload.get("count", 0))
+        total = float(payload.get("total", 0.0))
+        layers.append(
+            {
+                "network": network,
+                "layer": layer or "?",
+                "computes": count,
+                "seconds": round(total, 4),
+                "mean_ms": round(1e3 * total / count, 3) if count else 0.0,
+            }
+        )
+        agg = networks.setdefault(
+            network, {"network": network, "layers": 0, "computes": 0, "seconds": 0.0}
+        )
+        agg["layers"] += 1
+        agg["computes"] += count
+        agg["seconds"] += total
+    layers.sort(key=lambda row: -row["seconds"])
+    network_rows = sorted(networks.values(), key=lambda row: -row["seconds"])
+    for row in network_rows:
+        row["seconds"] = round(row["seconds"], 4)
+    return layers[:top], network_rows
+
+
+def _experiment_rows(units: list[dict]) -> list[dict]:
+    perexp: dict[str, dict] = {}
+    total = sum(unit.get("seconds", 0.0) for unit in units) or 1.0
+    for unit in units:
+        name = unit.get("experiment") or unit.get("unit", "?")
+        agg = perexp.setdefault(
+            name, {"experiment": name, "units": 0, "seconds": 0.0, "attempts": 0}
+        )
+        agg["units"] += 1
+        agg["seconds"] += unit.get("seconds", 0.0)
+        agg["attempts"] += unit.get("attempts", 1)
+    rows = sorted(perexp.values(), key=lambda row: -row["seconds"])
+    for row in rows:
+        row["share"] = f"{row['seconds'] / total:.0%}"
+        row["seconds"] = round(row["seconds"], 3)
+    return rows
+
+
+def _unit_rows(units: list[dict], top: int) -> list[dict]:
+    rows = [
+        {
+            "unit": unit.get("unit", "?"),
+            "phase": unit.get("phase", "?"),
+            "worker": unit.get("worker", 0),
+            "seconds": round(unit.get("seconds", 0.0), 3),
+            "hits": unit.get("cache_hits", 0),
+            "misses": unit.get("cache_misses", 0),
+            "attempts": unit.get("attempts", 1),
+            "status": unit.get("status", "?"),
+        }
+        for unit in sorted(units, key=lambda u: -u.get("seconds", 0.0))
+    ]
+    return rows[:top]
+
+
+def _rate(hits: float, misses: float) -> str:
+    total = hits + misses
+    return f"{hits / total:.0%}" if total else "n/a"
+
+
+def metrics_report(manifest: dict, top: int = 15) -> str:
+    """Human-readable observability report for one run-manifest dict."""
+    units = manifest.get("units", [])
+    metrics = manifest.get("metrics", {})
+    counters = metrics.get("counters", {})
+    histograms = metrics.get("histograms", {})
+    cache = manifest.get("cache", {})
+
+    parts: list[str] = []
+    parts.append(
+        f"== obs report: scale={manifest.get('scale', '?')} "
+        f"jobs={manifest.get('jobs', '?')} "
+        f"wall={manifest.get('wall_seconds', 0.0):.1f}s "
+        f"units={len(units)} "
+        f"(manifest v{manifest.get('version', 1)}) =="
+    )
+
+    if units:
+        parts.append("\n-- self time by experiment (worst first) --")
+        parts.append(_format_table(_experiment_rows(units)))
+        parts.append(f"\n-- slowest work units (top {top}) --")
+        parts.append(_format_table(_unit_rows(units, top)))
+
+    layer_rows, network_rows = _layer_rows(histograms, top)
+    if layer_rows:
+        parts.append(f"\n-- forward compute by layer (top {top}) --")
+        parts.append(_format_table(layer_rows))
+        parts.append("\n-- forward compute by network --")
+        parts.append(_format_table(network_rows))
+
+    engine_hits = counters.get("engine.cache.hits", 0)
+    engine_misses = counters.get("engine.cache.misses", 0)
+    # Prefer the merged metrics counters (they include worker-process
+    # stores); a v2 manifest only has its own cache section.
+    art_hits = counters.get("artifact.hits", cache.get("hits", 0))
+    art_misses = counters.get("artifact.misses", cache.get("misses", 0))
+    art_stores = counters.get("artifact.stores", cache.get("stores", 0))
+    art_quarantined = counters.get(
+        "artifact.quarantined", cache.get("quarantined", 0)
+    )
+    parts.append(
+        "\n-- caches --\n"
+        f"engine cache: {engine_hits:.0f} hits / {engine_misses:.0f} misses / "
+        f"{counters.get('engine.cache.evictions', 0):.0f} evictions "
+        f"({_rate(engine_hits, engine_misses)} hit rate)\n"
+        f"artifact cache: {art_hits:.0f} hits / {art_misses:.0f} misses / "
+        f"{art_stores:.0f} stores / {art_quarantined:.0f} quarantined "
+        f"({_rate(art_hits, art_misses)} hit rate)"
+    )
+
+    extra_attempts = sum(max(0, unit.get("attempts", 1) - 1) for unit in units)
+    fault_lines = [
+        f"  {name[len('faults.injected.'):]}: {value:.0f}"
+        for name, value in sorted(counters.items())
+        if name.startswith("faults.injected.")
+    ]
+    parts.append(
+        "\n-- retries / faults --\n"
+        f"unit retries: {extra_attempts} extra attempt(s) across "
+        f"{len(units)} unit(s); "
+        f"backoffs scheduled: {counters.get('retry.scheduled', 0):.0f} "
+        f"({counters.get('retry.backoff_seconds', 0):.2f}s planned); "
+        f"faults injected: {counters.get('faults.injected', 0):.0f}"
+    )
+    if fault_lines:
+        parts.append("\n".join(fault_lines))
+    return "\n".join(parts)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-obs", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser("report", help="summarize a run manifest")
+    report.add_argument("manifest", help="run manifest JSON (schema v2 or v3)")
+    report.add_argument(
+        "--top", type=int, default=15,
+        help="rows per breakdown table (default 15)",
+    )
+    args = parser.parse_args(argv)
+
+    path = Path(args.manifest)
+    try:
+        with open(path) as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        print(f"error: no such manifest {path}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(manifest, dict):
+        print(f"error: {path} is not a manifest object", file=sys.stderr)
+        return 2
+    try:
+        print(metrics_report(manifest, top=args.top))
+    except BrokenPipeError:  # |head is a normal way to read a report
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

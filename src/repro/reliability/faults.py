@@ -238,6 +238,10 @@ class FaultInjector:
             if action.probability < 1.0:
                 if hash_fraction(self.seed, site, trial) >= action.probability:
                     continue
+            from repro import obs
+
+            obs.counter_add("faults.injected")
+            obs.counter_add(f"faults.injected.{site}")
             if action.kind == "raise":
                 raise InjectedFault(f"injected fault at {site} (trial {trial})")
             if action.kind == "crash":

@@ -60,10 +60,20 @@ class RetryPolicy:
             raise ValueError("unit_timeout must be positive (or None)")
 
     def delay(self, unit_label: str, attempt: int) -> float:
-        """Seconds to wait before re-running ``unit_label``'s next attempt."""
+        """Seconds to wait before re-running ``unit_label``'s next attempt.
+
+        Each call records a scheduled backoff in the process metrics
+        registry (``retry.scheduled`` / ``retry.backoff_seconds``); the
+        returned value itself stays fully deterministic.
+        """
+        from repro import obs
+
         base = min(self.backoff_max, self.backoff_base * self.backoff_factor**attempt)
         spread = 2.0 * hash_fraction(self.seed, unit_label, attempt) - 1.0
-        return max(0.0, base * (1.0 + self.jitter * spread))
+        value = max(0.0, base * (1.0 + self.jitter * spread))
+        obs.counter_add("retry.scheduled")
+        obs.counter_add("retry.backoff_seconds", value)
+        return value
 
     def chain_timeout(self, num_units: int) -> float | None:
         """Wall-clock budget for a chain of ``num_units`` units."""
