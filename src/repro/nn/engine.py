@@ -41,6 +41,7 @@ from repro.nn.inference import (
     _producer_output,
     _release_consumed,
     apply_layer,
+    run_forward,
 )
 from repro.nn.network import LayerKind, LayerSpec, Network
 
@@ -227,6 +228,59 @@ class IncrementalForwardEngine:
             )
             self.stats.evictions += 1
             obs.counter_add("engine.cache.evictions")
+
+    def admit(self, images: np.ndarray) -> np.ndarray:
+        """Validate an externally-supplied stack for a one-off batched pass.
+
+        The admission hook of the serving layer: promotes a single
+        ``(depth, H, W)`` image to a batch of one, checks the shape
+        against the network input, promotes integer dtypes to float64
+        (the ``run_forward`` contract), and records the admission in the
+        metrics registry (``engine.admitted.batches`` /
+        ``engine.admitted.images``).
+        """
+        images = np.asarray(images)
+        if images.ndim == 3:
+            images = images[np.newaxis]
+        if images.ndim != 4 or images.shape[1:] != self.network.input_shape:
+            raise ValueError(
+                f"admitted stack shape {images.shape} incompatible with "
+                f"network input {self.network.input_shape}"
+            )
+        if not np.issubdtype(images.dtype, np.floating):
+            images = images.astype(np.float64)
+        obs.counter_add("engine.admitted.batches")
+        obs.counter_add("engine.admitted.images", images.shape[0])
+        return images
+
+    def run_stack(
+        self,
+        images: np.ndarray,
+        thresholds: dict[str, float] | None = None,
+        collect_conv_inputs: bool = True,
+        keep_outputs: bool = False,
+    ) -> ForwardResult:
+        """Batched forward of an *admitted* external stack (serving batches).
+
+        Unlike :meth:`run`, the stack is per-call, so the result bypasses
+        the threshold-signature cache (whose keys assume the engine's own
+        fixed images) — but shares the network, calibrated store, and the
+        batched layer path, keeping the output bit-identical to stacking
+        per-image :func:`~repro.nn.inference.run_forward` calls.
+        """
+        images = self.admit(images)
+        with obs.span(
+            "engine.run_stack", cat="nn", network=self.label,
+            batch=images.shape[0], thresholds=len(thresholds or {}),
+        ):
+            return run_forward(
+                self.network,
+                self.store,
+                images,
+                thresholds=thresholds,
+                collect_conv_inputs=collect_conv_inputs,
+                keep_outputs=keep_outputs,
+            )
 
     def run(
         self,

@@ -18,7 +18,10 @@ metrics snapshot the run serialized (see :mod:`repro.obs.metrics`):
   layer's forward dominates");
 * engine-cache hit rate (``engine.cache.*``), artifact-cache
   store/hit/quarantine counts, and retry/backoff/fault-injection
-  summaries.
+  summaries;
+* a serving summary (``serve.*``, when present): request outcomes with
+  the shed rate, batch count/size, retries, and latency — the
+  ``repro-serve`` namespaces.
 
 The experiment runner's ``--metrics`` flag prints the same report for
 the run it just finished.
@@ -118,6 +121,7 @@ def metrics_report(manifest: dict, top: int = 15) -> str:
     units = manifest.get("units", [])
     metrics = manifest.get("metrics", {})
     counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
     histograms = metrics.get("histograms", {})
     cache = manifest.get("cache", {})
 
@@ -162,6 +166,37 @@ def metrics_report(manifest: dict, top: int = 15) -> str:
         f"{art_stores:.0f} stores / {art_quarantined:.0f} quarantined "
         f"({_rate(art_hits, art_misses)} hit rate)"
     )
+
+    serve_requests = counters.get("serve.requests", 0)
+    if serve_requests:
+        batch_hist = histograms.get("serve.batch_size", {})
+        latency_hist = histograms.get("serve.latency_ms", {})
+        batches = counters.get("serve.batches", 0)
+        batch_count = int(batch_hist.get("count", 0))
+        shed = counters.get("serve.shed", 0)
+        mean_batch = (
+            float(batch_hist.get("total", 0.0)) / batch_count
+            if batch_count else 0.0
+        )
+        latency_count = int(latency_hist.get("count", 0))
+        mean_latency = (
+            float(latency_hist.get("total", 0.0)) / latency_count
+            if latency_count else 0.0
+        )
+        parts.append(
+            "\n-- serving --\n"
+            f"requests: {serve_requests:.0f} "
+            f"({counters.get('serve.completed', 0):.0f} ok / {shed:.0f} shed / "
+            f"{counters.get('serve.timeouts', 0):.0f} timeout / "
+            f"{counters.get('serve.errors', 0):.0f} error; "
+            f"shed rate {shed / serve_requests:.0%})\n"
+            f"batches: {batches:.0f} "
+            f"(mean size {mean_batch:.1f}, max {batch_hist.get('max', 0):.0f}; "
+            f"retries {counters.get('serve.retries', 0):.0f})\n"
+            f"latency: mean {mean_latency:.1f} ms, "
+            f"max {latency_hist.get('max', 0.0):.1f} ms; "
+            f"queue depth last {gauges.get('serve.queue_depth', 0):.0f}"
+        )
 
     extra_attempts = sum(max(0, unit.get("attempts", 1) - 1) for unit in units)
     fault_lines = [

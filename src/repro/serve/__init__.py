@@ -1,0 +1,59 @@
+"""Async batched inference serving over the reproduction's engine.
+
+The production-facing front end the ROADMAP's north star asks for:
+classify / zero-fraction / timing requests against any of the six paper
+networks, coalesced by a dynamic micro-batcher onto the batch-axis
+forward engine, executed on a bounded worker pool with
+:mod:`repro.reliability` retries, :mod:`repro.obs` spans/metrics
+(``serve.*``), explicit backpressure (bounded queues + 429-style shed
+responses), per-request deadlines, and a deterministic mode whose
+batched outputs are byte-identical to unbatched direct inference.
+
+Entry points: the :class:`InferenceService` API, and the ``repro-serve``
+CLI (:mod:`repro.serve.cli`) with ``serve`` and ``loadgen`` subcommands.
+"""
+
+from repro.serve.batcher import Batch, MicroBatcher
+from repro.serve.loadgen import (
+    LoadResult,
+    build_requests,
+    percentile,
+    run_load,
+    summarize,
+)
+from repro.serve.models import (
+    ModelRepository,
+    direct_response,
+    execute_batch,
+    request_image,
+)
+from repro.serve.requests import (
+    REQUEST_KINDS,
+    STATUS_CODES,
+    ServeRequest,
+    ServeResponse,
+    canonical_response_bytes,
+)
+from repro.serve.service import InferenceService, PendingRequest, ServeConfig
+
+__all__ = [
+    "REQUEST_KINDS",
+    "STATUS_CODES",
+    "ServeRequest",
+    "ServeResponse",
+    "canonical_response_bytes",
+    "ModelRepository",
+    "request_image",
+    "execute_batch",
+    "direct_response",
+    "Batch",
+    "MicroBatcher",
+    "ServeConfig",
+    "InferenceService",
+    "PendingRequest",
+    "LoadResult",
+    "build_requests",
+    "run_load",
+    "percentile",
+    "summarize",
+]

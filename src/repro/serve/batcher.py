@@ -1,0 +1,109 @@
+"""Dynamic micro-batching: coalesce compatible requests, bounded linger.
+
+The batcher is deliberately a *pure* data structure — no tasks, no
+clocks of its own — so the asyncio service can drive it and the unit
+tests can single-step it.  Requests group by ``(network, thresholds)``
+(the compatibility key of :func:`repro.serve.models.execute_batch`); a
+group is cut into a batch when
+
+* it reaches ``max_batch`` requests (cut immediately), or
+* its oldest member has waited ``linger_s`` seconds (cut on
+  :meth:`due`), or
+* the service flushes (drain / shutdown / deterministic mode).
+
+Deterministic mode disables the linger clock entirely: batches cut at
+exactly every ``max_batch``-th arrival in submission order, and the tail
+only moves on an explicit :meth:`flush` — fixed batch boundaries, so a
+test run produces the same batches every time.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Batch", "MicroBatcher"]
+
+
+@dataclass
+class Batch:
+    """One cut group of pending entries, ready for a worker."""
+
+    network: str
+    thresholds_key: tuple
+    entries: list[Any]
+    reason: str  # "full" | "linger" | "flush"
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class _Group:
+    entries: list[Any] = field(default_factory=list)
+    oldest_at: float = 0.0
+
+
+class MicroBatcher:
+    """Group pending requests by compatibility key until cut."""
+
+    def __init__(
+        self, max_batch: int = 8, linger_s: float = 0.002,
+        deterministic: bool = False,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if linger_s < 0:
+            raise ValueError("linger_s must be >= 0")
+        self.max_batch = max_batch
+        self.linger_s = linger_s
+        self.deterministic = deterministic
+        self._groups: OrderedDict[tuple, _Group] = OrderedDict()
+
+    def __len__(self) -> int:
+        return sum(len(group.entries) for group in self._groups.values())
+
+    def _key(self, entry) -> tuple:
+        request = entry.request
+        return (request.network, request.thresholds_key())
+
+    def _cut(self, key: tuple, reason: str) -> Batch:
+        group = self._groups.pop(key)
+        return Batch(
+            network=key[0], thresholds_key=key[1],
+            entries=group.entries, reason=reason,
+        )
+
+    def add(self, entry, now: float) -> Batch | None:
+        """Queue one pending entry; returns a batch iff the group filled."""
+        key = self._key(entry)
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = _Group(oldest_at=now)
+        group.entries.append(entry)
+        if len(group.entries) >= self.max_batch:
+            return self._cut(key, "full")
+        return None
+
+    def due(self, now: float) -> list[Batch]:
+        """Batches whose oldest entry has lingered past the budget."""
+        if self.deterministic:
+            return []
+        expired = [
+            key
+            for key, group in self._groups.items()
+            if now - group.oldest_at >= self.linger_s
+        ]
+        return [self._cut(key, "linger") for key in expired]
+
+    def next_due(self, now: float) -> float | None:
+        """Seconds until the earliest linger deadline (None when idle)."""
+        if self.deterministic or not self._groups:
+            return None
+        oldest = min(group.oldest_at for group in self._groups.values())
+        return max(0.0, self.linger_s - (now - oldest))
+
+    def flush(self) -> list[Batch]:
+        """Cut every group, oldest first (drain / shutdown)."""
+        return [self._cut(key, "flush") for key in list(self._groups)]

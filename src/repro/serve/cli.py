@@ -1,0 +1,235 @@
+"""``repro-serve`` — serve inference requests, or generate load against
+an in-process service.
+
+``serve``
+    A TCP JSON-lines server: one request object per line in, one
+    response object per line out (responses carry the request ``id``;
+    pipelined lines are served concurrently, so they micro-batch)::
+
+        repro-serve serve --port 8707 --scale tiny --networks alex,cnnS
+        printf '%s\\n' '{"id":"a","kind":"classify","network":"alex"}' \\
+            | nc 127.0.0.1 8707
+
+``loadgen``
+    Self-driving: builds a deterministic mixed workload, drives it
+    through an in-process service (open-loop at ``--rate``, or
+    closed-loop deterministic without one), prints the throughput /
+    latency / shed summary, and optionally writes a JSON report
+    (``--json``) and a Chrome trace (``--trace``)::
+
+        repro-serve loadgen --requests 50 --scale tiny \\
+            --networks alex,cnnS --deterministic --json serve-report.json
+
+Exit status: 0 on success, 1 when the workload saw any ``error``
+responses, 2 on bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.nn.models import network_names
+from repro.serve.loadgen import build_requests, run_load, summarize
+from repro.serve.requests import REQUEST_KINDS, ServeRequest, ServeResponse
+from repro.serve.service import InferenceService, ServeConfig
+
+__all__ = ["main"]
+
+
+def _parse_networks(text: str) -> list[str]:
+    names = [name.strip() for name in text.split(",") if name.strip()]
+    unknown = [name for name in names if name not in network_names()]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown networks {unknown}; choose from {network_names()}"
+        )
+    if not names:
+        raise argparse.ArgumentTypeError("at least one network is required")
+    return names
+
+
+def _parse_kinds(text: str) -> list[str]:
+    kinds = [kind.strip() for kind in text.split(",") if kind.strip()]
+    unknown = [kind for kind in kinds if kind not in REQUEST_KINDS]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown kinds {unknown}; choose from {REQUEST_KINDS}"
+        )
+    return kinds
+
+
+def _add_service_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", default="tiny",
+                        choices=["tiny", "reduced", "full"])
+    parser.add_argument("--networks", type=_parse_networks,
+                        default=["alex", "cnnS"], metavar="A,B,...")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--linger-ms", type=float, default=2.0)
+    parser.add_argument("--queue-limit", type=int, default=64)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--deterministic", action="store_true",
+                        help="single worker, fixed batch boundaries, no "
+                        "linger clock (reproducible runs)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the on-disk calibration artifact cache")
+
+
+def _service_config(args) -> ServeConfig:
+    return ServeConfig(
+        scale=args.scale,
+        networks=tuple(args.networks),
+        seed=args.seed,
+        max_batch=args.max_batch,
+        linger_ms=args.linger_ms,
+        queue_limit=args.queue_limit,
+        workers=args.workers,
+        deterministic=args.deterministic,
+        use_cache=not args.no_cache,
+    )
+
+
+async def _serve_async(args) -> int:
+    service = InferenceService(_service_config(args))
+    await service.start()
+    served = 0
+    done = asyncio.Event()
+
+    async def _handle(reader, writer):
+        nonlocal served
+        write_lock = asyncio.Lock()
+        tasks = []
+
+        async def _answer(line: bytes) -> None:
+            nonlocal served
+            try:
+                request = ServeRequest.from_json(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                response = ServeResponse(
+                    id="?", status="error", kind="classify", network="?",
+                    payload={"error": f"bad request: {exc}"},
+                )
+            else:
+                response = await service.submit(request)
+            async with write_lock:
+                writer.write(response.to_json().encode("utf-8") + b"\n")
+                await writer.drain()
+            served += 1
+            if args.max_requests and served >= args.max_requests:
+                done.set()
+
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            if line.strip():
+                tasks.append(asyncio.create_task(_answer(line)))
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        writer.close()
+
+    server = await asyncio.start_server(_handle, args.host, args.port)
+    ports = [sock.getsockname()[1] for sock in server.sockets]
+    print(f"repro-serve listening on {args.host}:{ports[0]} "
+          f"(scale={args.scale}, networks={','.join(args.networks)})",
+          flush=True)
+    try:
+        if args.max_requests:
+            await done.wait()
+        else:
+            await server.serve_forever()
+    except (KeyboardInterrupt, asyncio.CancelledError):  # pragma: no cover
+        pass
+    finally:
+        server.close()
+        await server.wait_closed()
+        await service.stop()
+    return 0
+
+
+async def _loadgen_async(args) -> int:
+    from repro import obs
+
+    if args.trace:
+        obs.enable_tracing()
+    config = _service_config(args)
+    service = InferenceService(config)
+    requests = build_requests(
+        args.requests,
+        networks=args.networks,
+        kinds=args.kinds,
+        seed=args.seed,
+        deadline_ms=args.deadline_ms,
+    )
+    await service.start()
+    try:
+        result = await run_load(
+            service, requests, rate=args.rate, seed=args.seed
+        )
+    finally:
+        await service.stop()
+    summary = summarize(result)
+    print(json.dumps(summary, indent=2))
+    if args.json:
+        report = {
+            "config": {
+                "scale": config.scale,
+                "networks": list(config.networks),
+                "max_batch": config.max_batch,
+                "linger_ms": config.linger_ms,
+                "queue_limit": config.queue_limit,
+                "workers": config.workers,
+                "deterministic": config.deterministic,
+                "rate": args.rate,
+                "kinds": args.kinds or list(REQUEST_KINDS),
+            },
+            "summary": summary,
+            "metrics": obs.get_metrics().snapshot(),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote report {args.json}")
+    if args.trace:
+        written = obs.write_chrome_trace(args.trace)
+        print(f"wrote trace {args.trace} ({written} events)")
+    return 1 if summary["error"] else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-serve", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="TCP JSON-lines inference server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8707,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--max-requests", type=int, default=0, metavar="N",
+                       help="exit after N served requests (0 = forever)")
+    _add_service_args(serve)
+    serve.set_defaults(runner=_serve_async)
+
+    loadgen = sub.add_parser("loadgen", help="drive an in-process service")
+    loadgen.add_argument("--requests", type=int, default=50)
+    loadgen.add_argument("--rate", type=float, default=None, metavar="RPS",
+                         help="open-loop offered load; omit for closed-loop "
+                         "submission (deterministic with --deterministic)")
+    loadgen.add_argument("--kinds", type=_parse_kinds, default=None,
+                         metavar="K1,K2,...",
+                         help=f"request mix (default {','.join(REQUEST_KINDS)})")
+    loadgen.add_argument("--deadline-ms", type=float, default=None)
+    loadgen.add_argument("--json", default=None, metavar="REPORT_JSON",
+                         help="write summary + metrics snapshot")
+    loadgen.add_argument("--trace", default=None, metavar="TRACE_JSON",
+                         help="record spans and write a Chrome trace")
+    _add_service_args(loadgen)
+    loadgen.set_defaults(runner=_loadgen_async)
+
+    args = parser.parse_args(argv)
+    return asyncio.run(args.runner(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

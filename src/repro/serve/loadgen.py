@@ -1,0 +1,162 @@
+"""Self-driving load generation for the inference service.
+
+Two modes:
+
+* **open-loop** (``rate`` requests/second): every request has a
+  deterministic target arrival time on a seeded schedule — the offered
+  load does not slow down when the service does, which is what makes
+  overload visible (queues fill, the shed rate climbs) instead of the
+  generator politely self-throttling.
+* **closed-loop deterministic** (``rate=None`` with a deterministic
+  service): submit everything up front in submission order, then
+  ``drain()`` — fixed batch boundaries, used by the differential tests
+  and the benchmark's correctness cross-check.
+
+Arrival jitter comes from :func:`repro.reliability.policy.hash_fraction`
+(the same deterministic hash the retry backoff uses), never from global
+random state: a (seed, index) pair always yields the same schedule.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.reliability.policy import hash_fraction
+from repro.serve.requests import REQUEST_KINDS, ServeRequest, ServeResponse
+from repro.serve.service import InferenceService
+
+__all__ = ["LoadResult", "build_requests", "run_load", "percentile", "summarize"]
+
+
+def build_requests(
+    count: int,
+    networks: list[str],
+    kinds: list[str] | None = None,
+    seed: int = 0,
+    thresholds: dict[str, float] | None = None,
+    deadline_ms: float | None = None,
+) -> list[ServeRequest]:
+    """A deterministic mixed workload: round-robin networks × kinds.
+
+    ``image_seed`` is hashed from (seed, index) so distinct requests
+    carry distinct inputs while the whole workload stays reproducible
+    from one integer.
+    """
+    kinds = list(kinds) if kinds else list(REQUEST_KINDS)
+    unknown = [kind for kind in kinds if kind not in REQUEST_KINDS]
+    if unknown:
+        raise ValueError(f"unknown request kinds {unknown}")
+    requests = []
+    for index in range(count):
+        requests.append(
+            ServeRequest(
+                id=f"r{index:06d}",
+                kind=kinds[index % len(kinds)],
+                network=networks[index % len(networks)],
+                image_seed=int(hash_fraction(seed, "image", index) * 2**31),
+                thresholds=thresholds,
+                deadline_ms=deadline_ms,
+            )
+        )
+    return requests
+
+
+@dataclass
+class LoadResult:
+    """Responses plus the wall-clock the workload took."""
+
+    responses: dict[str, ServeResponse] = field(default_factory=dict)
+    wall_s: float = 0.0
+
+    def by_status(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for response in self.responses.values():
+            counts[response.status] = counts.get(response.status, 0) + 1
+        return counts
+
+    def ok_latencies_ms(self) -> list[float]:
+        return sorted(
+            response.latency_ms
+            for response in self.responses.values()
+            if response.status == "ok" and response.latency_ms is not None
+        )
+
+
+async def run_load(
+    service: InferenceService,
+    requests: list[ServeRequest],
+    rate: float | None = None,
+    seed: int = 0,
+    jitter: float = 0.2,
+) -> LoadResult:
+    """Drive one workload through a started service.
+
+    With ``rate`` set, request ``i`` is submitted at
+    ``i/rate * (1 + jitter*u_i)`` seconds with ``u_i`` a deterministic
+    hash in [-1, 1) — open loop.  Without a rate, everything is
+    submitted immediately in order and the service drained (closed
+    loop; with a deterministic service this yields fixed batch cuts).
+    """
+    loop = asyncio.get_running_loop()
+    result = LoadResult()
+    start = loop.time()
+
+    if rate is None:
+        outcomes = [service.try_submit(request) for request in requests]
+        await service.drain()
+        for request, outcome in zip(requests, outcomes):
+            if isinstance(outcome, ServeResponse):
+                result.responses[request.id] = outcome
+            else:
+                result.responses[request.id] = outcome.result()
+    else:
+        async def _one(index: int, request: ServeRequest) -> None:
+            spread = 2.0 * hash_fraction(seed, "arrival", index) - 1.0
+            target = start + (index / rate) * (1.0 + jitter * spread)
+            delay = target - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            result.responses[request.id] = await service.submit(request)
+
+        await asyncio.gather(
+            *(_one(index, request) for index, request in enumerate(requests))
+        )
+        await service.drain()
+
+    result.wall_s = loop.time() - start
+    return result
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    rank = max(1, -(-len(sorted_values) * q // 100))
+    return float(sorted_values[int(rank) - 1])
+
+
+def summarize(result: LoadResult) -> dict:
+    """JSON-safe digest: throughput, latency percentiles, shed rate."""
+    statuses = result.by_status()
+    latencies = result.ok_latencies_ms()
+    total = len(result.responses)
+    ok = statuses.get("ok", 0)
+    return {
+        "requests": total,
+        "ok": ok,
+        "shed": statuses.get("shed", 0),
+        "timeout": statuses.get("timeout", 0),
+        "error": statuses.get("error", 0),
+        "shed_rate": statuses.get("shed", 0) / total if total else 0.0,
+        "wall_s": round(result.wall_s, 4),
+        "throughput_rps": round(ok / result.wall_s, 2) if result.wall_s else 0.0,
+        "latency_ms": {
+            "p50": round(percentile(latencies, 50), 3),
+            "p90": round(percentile(latencies, 90), 3),
+            "p99": round(percentile(latencies, 99), 3),
+            "max": round(latencies[-1], 3) if latencies else 0.0,
+        },
+    }

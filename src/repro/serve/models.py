@@ -1,0 +1,199 @@
+"""Model state and request execution for the inference service.
+
+:class:`ModelRepository` owns one calibrated (network, weights) pair per
+paper network — built through :class:`~repro.experiments.context.
+ExperimentContext`, so calibration shifts come from the same
+content-addressed artifact cache the experiment pipeline uses — plus one
+:class:`~repro.nn.engine.IncrementalForwardEngine` per network whose
+batch-admission hook (:meth:`~repro.nn.engine.IncrementalForwardEngine.
+run_stack`) forwards the coalesced request stacks.
+
+:func:`execute_batch` is the whole compute path of the service: one
+batched forward shared by every request in the batch (classify,
+zero-fraction, and timing requests coalesce freely as long as they agree
+on network + thresholds), then per-request payload assembly from the
+sliced activations.  :func:`direct_response` is the reference
+implementation — one :func:`~repro.nn.inference.run_forward` per request
+with no batching, no engine, no service — against which the differential
+tests assert byte-identical responses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baseline.timing import baseline_network_timing
+from repro.core.timing import cnv_network_timing
+from repro.experiments.config import PaperConfig
+from repro.experiments.context import ExperimentContext
+from repro.hw.config import PAPER_CONFIG, ArchConfig
+from repro.nn.datasets import natural_image
+from repro.nn.inference import run_forward
+from repro.nn.network import Network
+from repro.serve.requests import ServeRequest, ServeResponse
+
+__all__ = [
+    "ModelRepository",
+    "request_image",
+    "execute_batch",
+    "direct_response",
+]
+
+
+def request_image(network: Network, seed: int) -> np.ndarray:
+    """The synthetic input a request names, reproducible from its seed.
+
+    float32, matching the single-precision weights the repository's
+    calibrated stores carry — the dtype every activation then stays in.
+    """
+    rng = np.random.default_rng(seed)
+    return natural_image(network.input_shape, rng).astype(np.float32)
+
+
+class ModelRepository:
+    """Calibrated networks + per-network engines, built lazily."""
+
+    def __init__(
+        self,
+        config: PaperConfig | None = None,
+        arch: ArchConfig = PAPER_CONFIG,
+        context: ExperimentContext | None = None,
+    ):
+        self.context = context if context is not None else ExperimentContext(
+            config, arch=arch
+        )
+        self.arch = arch
+        self._baseline_cycles: dict[str, int] = {}
+
+    @property
+    def networks(self) -> list[str]:
+        return list(self.context.config.networks)
+
+    def entry(self, name: str):
+        """The calibrated :class:`~repro.experiments.context.NetworkContext`."""
+        return self.context.network_ctx(name)
+
+    def engine(self, name: str):
+        return self.context.engine(name)
+
+    def image(self, name: str, seed: int) -> np.ndarray:
+        return request_image(self.entry(name).network, seed)
+
+    def baseline_cycles(self, name: str, conv_inputs: dict) -> int:
+        """Baseline total cycles — value-independent, so memoized per network."""
+        if name not in self._baseline_cycles:
+            timing = baseline_network_timing(
+                self.entry(name).network, conv_inputs, self.arch
+            )
+            self._baseline_cycles[name] = timing.total_cycles
+        return self._baseline_cycles[name]
+
+
+def _classify_payload(logits: np.ndarray) -> dict:
+    return {"top1": int(np.argmax(logits)), "logits": logits.tolist()}
+
+
+def _zero_fraction_payload(conv_inputs: dict[str, np.ndarray]) -> dict:
+    per_layer = {
+        layer: float(np.mean(arr == 0.0)) for layer, arr in conv_inputs.items()
+    }
+    return {
+        "mean": float(np.mean(list(per_layer.values()))),
+        "per_layer": per_layer,
+    }
+
+
+def _timing_payload(
+    repo: ModelRepository, name: str, conv_inputs: dict[str, np.ndarray]
+) -> dict:
+    network = repo.entry(name).network
+    cnv = cnv_network_timing(network, conv_inputs, repo.arch).total_cycles
+    base = repo.baseline_cycles(name, conv_inputs)
+    return {
+        "baseline_cycles": int(base),
+        "cnv_cycles": int(cnv),
+        "speedup": base / cnv,
+    }
+
+
+def _payload(
+    repo: ModelRepository,
+    request: ServeRequest,
+    logits: np.ndarray | None,
+    conv_inputs: dict[str, np.ndarray],
+) -> dict:
+    if request.kind == "classify":
+        if logits is None:
+            raise ValueError(f"network {request.network} produced no logits")
+        return _classify_payload(logits)
+    if request.kind == "zero_fraction":
+        return _zero_fraction_payload(conv_inputs)
+    return _timing_payload(repo, request.network, conv_inputs)
+
+
+def _needs_conv_inputs(requests: list[ServeRequest]) -> bool:
+    return any(req.kind in ("zero_fraction", "timing") for req in requests)
+
+
+def execute_batch(
+    repo: ModelRepository, requests: list[ServeRequest]
+) -> list[ServeResponse]:
+    """Serve a coalesced batch with one shared forward pass.
+
+    Every request must agree on (network, thresholds) — the micro-batcher
+    groups by exactly that key.  The stacked inputs go through the
+    engine's batch-admission hook; payloads are then assembled from the
+    per-request slices, bit-identical to running each request alone
+    (the PR-2 batch-axis guarantee, pinned by the differential tests).
+    """
+    if not requests:
+        return []
+    name = requests[0].network
+    thresholds_key = requests[0].thresholds_key()
+    for req in requests[1:]:
+        if req.network != name or req.thresholds_key() != thresholds_key:
+            raise ValueError("batch mixes incompatible (network, thresholds)")
+    thresholds = dict(thresholds_key) or None
+    stack = np.stack([repo.image(name, req.image_seed) for req in requests])
+    result = repo.engine(name).run_stack(
+        stack,
+        thresholds=thresholds,
+        collect_conv_inputs=_needs_conv_inputs(requests),
+    )
+    responses = []
+    for index, req in enumerate(requests):
+        logits = None if result.logits is None else result.logits[index]
+        conv_inputs = {
+            layer: arr[index] for layer, arr in result.conv_inputs.items()
+        }
+        responses.append(
+            ServeResponse(
+                id=req.id,
+                status="ok",
+                kind=req.kind,
+                network=req.network,
+                payload=_payload(repo, req, logits, conv_inputs),
+            )
+        )
+    return responses
+
+
+def direct_response(repo: ModelRepository, request: ServeRequest) -> ServeResponse:
+    """Reference path: one unbatched ``run_forward`` per request."""
+    entry = repo.entry(request.network)
+    thresholds = dict(request.thresholds_key()) or None
+    result = run_forward(
+        entry.network,
+        entry.store,
+        repo.image(request.network, request.image_seed),
+        thresholds=thresholds,
+        collect_conv_inputs=_needs_conv_inputs([request]),
+        keep_outputs=False,
+    )
+    return ServeResponse(
+        id=request.id,
+        status="ok",
+        kind=request.kind,
+        network=request.network,
+        payload=_payload(repo, request, result.logits, result.conv_inputs),
+    )

@@ -1,0 +1,173 @@
+"""Request/response schema of the inference service.
+
+A :class:`ServeRequest` names one piece of work against one of the six
+paper networks:
+
+``classify``
+    Forward one synthetic input (derived deterministically from
+    ``image_seed``) and return the top-1 class plus the full logit
+    vector.
+``zero_fraction``
+    Forward the input and return the conv-input zero fractions — the
+    per-request version of the Fig. 1 measurement.
+``timing``
+    Forward the input, then run both cycle-accurate timing models on its
+    conv-input activations and return baseline/CNV cycles and the
+    speedup (the per-request Fig. 9 quantity).
+
+Responses carry an HTTP-flavoured status: ``ok`` (200), ``shed`` (429 —
+the queue bound rejected the request; the explicit backpressure signal),
+``timeout`` (504 — the per-request deadline expired before compute), and
+``error`` (500).  :func:`canonical_response_bytes` serializes exactly the
+fields that must not depend on how requests were batched or scheduled —
+the differential tests assert *byte* equality between micro-batched
+service output and direct one-at-a-time inference, so transport metadata
+(latency, observed batch size) is deliberately excluded.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "REQUEST_KINDS",
+    "STATUS_CODES",
+    "ServeRequest",
+    "ServeResponse",
+    "canonical_response_bytes",
+]
+
+#: The work kinds a request may name.
+REQUEST_KINDS = ("classify", "zero_fraction", "timing")
+
+#: HTTP-flavoured code per response status.
+STATUS_CODES = {"ok": 200, "shed": 429, "timeout": 504, "error": 500}
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One unit of work submitted to the service.
+
+    ``image_seed`` determines the synthetic input deterministically (see
+    :func:`repro.serve.models.request_image`), so a request is fully
+    reproducible from its JSON form alone.  ``thresholds`` optionally
+    applies Section V-E per-layer pruning; requests only batch with
+    requests that share the same network *and* thresholds.
+    ``deadline_ms`` is a relative latency budget: if the request is still
+    queued when it expires, the service answers ``timeout`` without
+    computing.
+    """
+
+    id: str
+    kind: str
+    network: str
+    image_seed: int = 0
+    thresholds: dict[str, float] | None = None
+    deadline_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in REQUEST_KINDS:
+            raise ValueError(
+                f"kind must be one of {REQUEST_KINDS}, got {self.kind!r}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive (or None)")
+
+    def thresholds_key(self) -> tuple:
+        """Hashable rendering of the threshold config (batch-group key)."""
+        if not self.thresholds:
+            return ()
+        return tuple(
+            sorted((k, float(v)) for k, v in self.thresholds.items() if v)
+        )
+
+    def to_json(self) -> str:
+        payload = {
+            "id": self.id,
+            "kind": self.kind,
+            "network": self.network,
+            "image_seed": self.image_seed,
+        }
+        if self.thresholds:
+            payload["thresholds"] = self.thresholds
+        if self.deadline_ms is not None:
+            payload["deadline_ms"] = self.deadline_ms
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServeRequest":
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ValueError("request must be a JSON object")
+        unknown = set(payload) - {
+            "id", "kind", "network", "image_seed", "thresholds", "deadline_ms"
+        }
+        if unknown:
+            raise ValueError(f"unknown request fields {sorted(unknown)}")
+        try:
+            return cls(
+                id=str(payload["id"]),
+                kind=payload["kind"],
+                network=payload["network"],
+                image_seed=int(payload.get("image_seed", 0)),
+                thresholds=payload.get("thresholds"),
+                deadline_ms=payload.get("deadline_ms"),
+            )
+        except KeyError as exc:
+            raise ValueError(f"request is missing field {exc.args[0]!r}")
+
+
+@dataclass
+class ServeResponse:
+    """The service's answer to one request."""
+
+    id: str
+    status: str  # "ok" | "shed" | "timeout" | "error"
+    kind: str
+    network: str
+    payload: dict = field(default_factory=dict)
+    #: Transport metadata — excluded from canonical identity.
+    latency_ms: float | None = None
+    batch_size: int | None = None
+
+    @property
+    def code(self) -> int:
+        return STATUS_CODES[self.status]
+
+    def to_json(self) -> str:
+        payload = {
+            "id": self.id,
+            "status": self.status,
+            "code": self.code,
+            "kind": self.kind,
+            "network": self.network,
+            "payload": self.payload,
+        }
+        if self.latency_ms is not None:
+            payload["latency_ms"] = self.latency_ms
+        if self.batch_size is not None:
+            payload["batch_size"] = self.batch_size
+        return json.dumps(payload, sort_keys=True)
+
+
+def canonical_response_bytes(response: ServeResponse) -> bytes:
+    """The batching-invariant bytes of a response.
+
+    JSON with sorted keys over exactly (id, status, code, kind, network,
+    payload).  Floats serialize through :func:`repr`-exact ``json.dumps``,
+    so two responses are byte-identical iff every logit/metric float is
+    bit-identical — the currency of the differential serving tests.
+    """
+    return json.dumps(
+        {
+            "id": response.id,
+            "status": response.status,
+            "code": response.code,
+            "kind": response.kind,
+            "network": response.network,
+            "payload": response.payload,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")

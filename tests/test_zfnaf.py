@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.zfnaf import ZfnafArray, decode, decode_brick, encode, encode_brick
-from repro.nn.activations import sparse_activations
+from repro.nn.activations import brick_nonzero_counts, sparse_activations
 
 
 class TestEncodeBrick:
@@ -106,3 +106,125 @@ class TestEncodeArray:
                 brick_size=4,
                 original_depth=4,
             )
+
+
+# ---------------------------------------------------------------------------
+# Property-based suite over explicit brick patterns
+# ---------------------------------------------------------------------------
+
+#: Finite nonzero activation values (ZFNAf never rounds, so identity must
+#: be exact even for awkward magnitudes).
+_nonzero_values = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6,
+    width=32,
+).filter(lambda value: value != 0.0)
+
+
+@st.composite
+def brick_pattern(draw, brick_size: int) -> np.ndarray:
+    """One brick drawn from the interesting corners of the format.
+
+    Explicitly weights the shapes the encoder must not fumble: all-zero
+    bricks (empty value list), fully dense bricks (offsets 0..B-1), a
+    single nonzero at the *last* offset (the 4-bit offset's max value),
+    and arbitrary sparse masks.
+    """
+    kind = draw(
+        st.sampled_from(["all_zero", "dense", "single_last", "random"])
+    )
+    brick = np.zeros(brick_size, dtype=np.float64)
+    if kind == "all_zero":
+        return brick
+    if kind == "dense":
+        for index in range(brick_size):
+            brick[index] = draw(_nonzero_values)
+        return brick
+    if kind == "single_last":
+        brick[brick_size - 1] = draw(_nonzero_values)
+        return brick
+    mask = draw(
+        st.lists(st.booleans(), min_size=brick_size, max_size=brick_size)
+    )
+    for index, hit in enumerate(mask):
+        if hit:
+            brick[index] = draw(_nonzero_values)
+    return brick
+
+
+@st.composite
+def brick_volume(draw) -> tuple[np.ndarray, int]:
+    """(activations, brick_size) assembled brick by brick.
+
+    ``trim`` shaves the last brick so depth is frequently *not* a
+    multiple of the brick size, exercising the zero-padding path.
+    """
+    brick_size = draw(st.sampled_from([4, 8, 16]))
+    depth_bricks = draw(st.integers(1, 3))
+    trim = draw(st.integers(0, brick_size - 1))
+    depth = depth_bricks * brick_size - trim
+    height = draw(st.integers(1, 3))
+    width = draw(st.integers(1, 3))
+    column = st.lists(
+        brick_pattern(brick_size),
+        min_size=depth_bricks, max_size=depth_bricks,
+    )
+    volume = np.zeros((depth_bricks * brick_size, height, width))
+    for y in range(height):
+        for x in range(width):
+            volume[:, y, x] = np.concatenate(draw(column))
+    return volume[:depth], brick_size
+
+
+class TestZfnafProperties:
+    @given(brick_volume())
+    def test_encode_decode_identity(self, drawn):
+        """decode(encode(a)) == a exactly, for every brick pattern."""
+        activations, brick_size = drawn
+        restored = decode(encode(activations, brick_size=brick_size))
+        assert np.array_equal(restored, activations)
+
+    @given(brick_volume())
+    def test_counts_match_brute_force(self, drawn):
+        """`brick_nonzero_counts` agrees with a per-brick python loop."""
+        activations, brick_size = drawn
+        counts = brick_nonzero_counts(activations, brick_size=brick_size)
+        depth, height, width = activations.shape
+        depth_bricks = -(-depth // brick_size)
+        assert counts.shape == (height, width, depth_bricks)
+        for y in range(height):
+            for x in range(width):
+                for b in range(depth_bricks):
+                    lo = b * brick_size
+                    hi = min(lo + brick_size, depth)
+                    expected = int(
+                        np.count_nonzero(activations[lo:hi, y, x])
+                    )
+                    assert counts[y, x, b] == expected
+
+    @given(brick_volume())
+    def test_encoder_counts_agree_with_brick_counts(self, drawn):
+        """The ZFNAf per-brick counts are the same statistic."""
+        activations, brick_size = drawn
+        z = encode(activations, brick_size=brick_size)
+        counts = brick_nonzero_counts(activations, brick_size=brick_size)
+        assert z.total_nonzero == int(counts.sum())
+        assert np.array_equal(np.asarray(z.counts), counts)
+
+    @given(st.sampled_from([4, 8, 16]), st.data())
+    def test_single_nonzero_at_last_offset(self, brick_size, data):
+        """The max offset value (brick_size-1) survives the round trip."""
+        value = data.draw(_nonzero_values)
+        brick = np.zeros(brick_size)
+        brick[brick_size - 1] = value
+        values, offsets = encode_brick(brick)
+        assert list(offsets) == [brick_size - 1]
+        assert values[0] == value
+        assert np.array_equal(
+            decode_brick(values, offsets, brick_size), brick
+        )
+
+    @given(st.integers(1, 47))
+    def test_all_zero_volume_encodes_empty(self, depth):
+        z = encode(np.zeros((depth, 2, 2)), brick_size=16)
+        assert z.total_nonzero == 0
+        assert np.array_equal(decode(z), np.zeros((depth, 2, 2)))
