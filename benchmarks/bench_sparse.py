@@ -1,0 +1,199 @@
+"""Sparse-kernel benchmark: dense vs sparse wall time vs pruning threshold.
+
+For each paper network, runs the same calibrated forward pass under
+``CNVLUTIN_SPARSE=never`` (the honest dense baseline that multiplies every
+ineffectual neuron) and ``CNVLUTIN_SPARSE=always`` (the zero-skipping
+partitioned kernels of :mod:`repro.nn.sparse`) across a ladder of pruning
+thresholds, asserting byte-identical logits at every rung — the wall-clock
+counterpart of the paper's Fig. 9 cycle speedups.
+
+Thresholds are calibrated per network and rung: rung ``q`` prunes each
+conv input at the ``q``-quantile of its clean non-zero magnitudes, so the
+ladder sweeps the ineffectual-neuron fraction the way Fig. 14's pruning
+sweep does.
+
+Run standalone to (re)generate ``BENCH_sparse.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_sparse.py
+
+``--quick`` runs a tiny-scale single-network smoke (CI artifact; it checks
+bit-identity but does not gate on the speedup floor).  The committed
+``BENCH_sparse.json`` holds reduced-scale numbers; the full run enforces
+``SPEEDUP_FLOOR`` on at least one network.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.experiments.config import PaperConfig
+from repro.experiments.context import ExperimentContext
+from repro.nn import sparse as zskip
+from repro.nn.inference import run_forward
+
+BENCH_NETWORKS = ("alex", "nin", "vgg19")
+QUANTILE_LADDER = (0.0, 0.3, 0.6)
+REPEATS = 3
+#: At calibrated pruning thresholds at least one paper network must show
+#: this much end-to-end wall-clock speedup (the PR's acceptance floor).
+SPEEDUP_FLOOR = 1.3
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sparse.json"
+
+
+def _context(scale: str, networks: tuple[str, ...]) -> ExperimentContext:
+    config = PaperConfig(
+        scale=scale,
+        networks=list(networks),
+        num_images=1,
+        use_cache=False,
+        smallcnn=False,
+    )
+    return ExperimentContext(config)
+
+
+def _ladder_thresholds(clean_result, prunable, quantile: float) -> dict[str, float]:
+    """Per-layer thresholds at ``quantile`` of clean non-zero magnitudes."""
+    if quantile <= 0.0:
+        return {}
+    thresholds = {}
+    for name in prunable:
+        values = np.abs(clean_result.conv_inputs[name])
+        nonzero = values[values > 0]
+        if nonzero.size:
+            thresholds[name] = float(np.quantile(nonzero, quantile))
+    return thresholds
+
+
+def _timed_forward(network, store, image, thresholds, mode, repeats):
+    """(best wall seconds, logits bytes) for one mode."""
+    saved = os.environ.get(zskip.MODE_ENV)
+    os.environ[zskip.MODE_ENV] = mode
+    try:
+        best = float("inf")
+        blob = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = run_forward(
+                network, store, image, thresholds=thresholds, keep_outputs=False
+            )
+            best = min(best, time.perf_counter() - start)
+            blob = result.logits.tobytes()
+        return best, blob
+    finally:
+        if saved is None:
+            os.environ.pop(zskip.MODE_ENV, None)
+        else:
+            os.environ[zskip.MODE_ENV] = saved
+
+
+def bench_network(ctx, name: str, ladder, repeats: int) -> dict:
+    nctx = ctx.network_ctx(name)
+    network, store, image = nctx.network, nctx.store, nctx.images[0]
+    prunable = [layer.name for layer in network.conv_layers if layer.fused_relu]
+    clean = run_forward(network, store, image, keep_outputs=True)
+
+    rungs = []
+    for quantile in ladder:
+        thresholds = _ladder_thresholds(clean, prunable, quantile)
+        # Warm both paths (weight-transpose cache, allocator) off the clock.
+        _timed_forward(network, store, image, thresholds, "always", 1)
+        dense_s, dense_blob = _timed_forward(
+            network, store, image, thresholds, "never", repeats
+        )
+        before = obs.get_metrics().snapshot()["counters"]
+        sparse_s, sparse_blob = _timed_forward(
+            network, store, image, thresholds, "always", 1
+        )
+        after = obs.get_metrics().snapshot()["counters"]
+        if repeats > 1:
+            more_s, _ = _timed_forward(
+                network, store, image, thresholds, "always", repeats - 1
+            )
+            sparse_s = min(sparse_s, more_s)
+        assert sparse_blob == dense_blob, (
+            f"{name} q={quantile}: sparse logits differ from dense"
+        )
+        key_total = "engine.sparse.macs.total"
+        key_skipped = "engine.sparse.macs.skipped"
+        macs_total = after.get(key_total, 0) - before.get(key_total, 0)
+        macs_skipped = after.get(key_skipped, 0) - before.get(key_skipped, 0)
+        rungs.append(
+            {
+                "quantile": quantile,
+                "dense_s": round(dense_s, 4),
+                "sparse_s": round(sparse_s, 4),
+                "speedup": round(dense_s / sparse_s, 2),
+                "mac_skip_fraction": round(
+                    macs_skipped / macs_total if macs_total else 0.0, 3
+                ),
+            }
+        )
+    return {
+        "network": name,
+        "rungs": rungs,
+        "max_speedup": max(r["speedup"] for r in rungs),
+    }
+
+
+def run_bench(scale: str, networks, ladder, repeats: int) -> dict:
+    ctx = _context(scale, tuple(networks))
+    results = [bench_network(ctx, name, ladder, repeats) for name in networks]
+    return {
+        "scale": scale,
+        "num_images": 1,
+        "quantile_ladder": list(ladder),
+        "repeats": repeats,
+        "networks": results,
+        "best_network": max(results, key=lambda r: r["max_speedup"])["network"],
+        "best_speedup": max(r["max_speedup"] for r in results),
+        "speedup_floor": SPEEDUP_FLOOR,
+    }
+
+
+def test_sparse_bench(benchmark):
+    from conftest import run_once
+
+    report = run_once(
+        benchmark,
+        lambda: run_bench("tiny", ("alex",), (0.0, 0.3), repeats=1),
+    )
+    print()
+    print(json.dumps(report, indent=2))
+    # Tiny scale checks bit-identity only; speedup is gated at full scale.
+    assert report["networks"][0]["rungs"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny-scale single-network smoke; no speedup gate, no JSON",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        report = run_bench("tiny", ("alex",), (0.0, 0.3), repeats=1)
+        print(json.dumps(report, indent=2))
+        return 0
+
+    report = run_bench("reduced", BENCH_NETWORKS, QUANTILE_LADDER, REPEATS)
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if report["best_speedup"] < SPEEDUP_FLOOR:
+        print(
+            f"FAIL: best speedup {report['best_speedup']}x below the "
+            f"{SPEEDUP_FLOOR}x floor on every network"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

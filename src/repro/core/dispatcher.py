@@ -142,12 +142,25 @@ def bank_pressure(
     sustain the maximum key (Section IV-B3 notes the banks are sub-banked
     for the worst case).
     """
-    histogram: dict[int, int] = {}
-    for row in brick_addresses:
-        valid = row[row >= 0]
-        if valid.size == 0:
-            continue
-        banks, counts = np.unique(valid % num_banks, return_counts=True)
-        for count in counts:
-            histogram[int(count)] = histogram.get(int(count), 0) + 1
-    return histogram
+    addresses = np.asarray(brick_addresses)
+    if addresses.size == 0:
+        return {}
+    valid = addresses >= 0
+    cycle_index, _ = np.nonzero(valid)
+    if cycle_index.size == 0:
+        return {}
+    # Count fetches per (cycle, bank) cell in one bincount over a fused
+    # index, then histogram the non-zero cell values — vectorizing the
+    # per-cycle python loop without changing a single count.
+    banks = addresses[valid] % num_banks
+    per_cell = np.bincount(
+        cycle_index * num_banks + banks,
+        minlength=addresses.shape[0] * num_banks,
+    )
+    occupied = per_cell[per_cell > 0]
+    totals = np.bincount(occupied)
+    return {
+        int(count): int(times)
+        for count, times in enumerate(totals)
+        if count > 0 and times > 0
+    }

@@ -85,18 +85,41 @@ def window_lane_cycles(
     """
     bricks_per_column = cost.shape[2]
     assignment = lane_assignment(kernel_y, kernel_x, bricks_per_column, lanes)
-    lane_cycles = np.zeros((out_y, out_x, lanes), dtype=np.float64)
-    window_nnz = np.zeros((out_y, out_x), dtype=np.float64)
-    span_y = (out_y - 1) * stride + 1
-    span_x = (out_x - 1) * stride + 1
-    for fy in range(kernel_y):
-        for fx in range(kernel_x):
-            cost_view = cost[fy : fy + span_y : stride, fx : fx + span_x : stride, :]
-            nnz_view = nnz[fy : fy + span_y : stride, fx : fx + span_x : stride, :]
-            onehot = np.zeros((bricks_per_column, lanes), dtype=np.float64)
-            onehot[np.arange(bricks_per_column), assignment[fy, fx]] = 1.0
-            lane_cycles += cost_view.astype(np.float64) @ onehot
-            window_nnz += nnz_view.sum(axis=2)
+    bricks_per_window = kernel_y * kernel_x * bricks_per_column
+    # One GEMM over im2col'd windows replaces the per-(fy, fx) python
+    # loop: scatter the lane assignment into a (bricks_per_window, lanes)
+    # one-hot and multiply the unfolded per-window brick costs against
+    # it.  All quantities are integer-valued, so the float64 sums are
+    # exact in any accumulation order — the cycle counts stay
+    # byte-identical to the loop they replace (golden-pinned).
+    onehot = np.zeros((bricks_per_window, lanes), dtype=np.float64)
+    onehot[np.arange(bricks_per_window), assignment.reshape(-1)] = 1.0
+    cost64 = np.ascontiguousarray(cost, dtype=np.float64)
+    nnz64 = np.ascontiguousarray(nnz, dtype=np.float64)
+
+    def unfold(padded: np.ndarray) -> np.ndarray:
+        sy, sx, sb = padded.strides
+        return np.lib.stride_tricks.as_strided(
+            padded,
+            shape=(out_y, out_x, kernel_y, kernel_x, bricks_per_column),
+            strides=(sy * stride, sx * stride, sy, sx, sb),
+            writeable=False,
+        )
+
+    cost_windows = unfold(cost64)
+    nnz_windows = unfold(nnz64)
+    lane_cycles = np.empty((out_y, out_x, lanes), dtype=np.float64)
+    window_nnz = np.empty((out_y, out_x), dtype=np.float64)
+    # Materializing every window at once can dwarf the input for large
+    # kernels; process row chunks so the unfolded copy stays bounded.
+    chunk_rows = max(1, 4_000_000 // max(1, out_x * bricks_per_window))
+    for y0 in range(0, out_y, chunk_rows):
+        y1 = min(y0 + chunk_rows, out_y)
+        chunk = np.ascontiguousarray(cost_windows[y0:y1]).reshape(
+            (y1 - y0) * out_x, bricks_per_window
+        )
+        lane_cycles[y0:y1] = (chunk @ onehot).reshape(y1 - y0, out_x, lanes)
+        window_nnz[y0:y1] = nnz_windows[y0:y1].sum(axis=(2, 3, 4))
     return lane_cycles, window_nnz
 
 

@@ -19,6 +19,13 @@ would break the engine's bit-identity contract (and with it the golden,
 ZFNAf and timing validation that diffs hardware outputs against this
 model).
 
+The conv GEMM and the FC matvec route through the canonical partitioned
+kernels of :mod:`repro.nn.sparse`: the all-zero (ineffectual) slices of
+the patch matrix are split off so the ``CNVLUTIN_SPARSE`` mode can skip
+them for real wall-clock gains.  Dense and sparse modes are
+byte-identical by construction — see that module's docstring for the
+bit-identity argument.
+
 These implementations are the *golden model*: both the DaDianNao baseline
 simulator and the Cnvlutin simulator validate their outputs against them
 (the paper's own simulator validated against Caffe in the same fashion,
@@ -30,6 +37,8 @@ fast path.
 from __future__ import annotations
 
 import numpy as np
+
+from repro.nn import sparse as zskip
 
 __all__ = [
     "conv2d",
@@ -119,6 +128,7 @@ def conv2d(
     stride: int = 1,
     pad: int = 0,
     groups: int = 1,
+    sparse_mode: str | None = None,
 ) -> np.ndarray:
     """2-D convolution (cross-correlation, as in CNN frameworks).
 
@@ -134,6 +144,10 @@ def conv2d(
         Spatial stride and symmetric zero padding.
     groups:
         Grouped convolution (AlexNet-style two-GPU splits use ``groups=2``).
+    sparse_mode:
+        Optional per-call override of the :mod:`repro.nn.sparse` compute
+        path (``auto|always|never``); defaults to ``CNVLUTIN_SPARSE``.
+        The mode never changes the output bytes, only the wall-clock.
 
     Returns
     -------
@@ -164,6 +178,12 @@ def conv2d(
     # Compute in the inputs' precision (float32 weights halve the cost of
     # the full-resolution experiment sweeps; default stays float64).
     out_dtype = np.result_type(activations, weights)
+    mode = zskip.resolve_mode(sparse_mode)
+    cutoff = zskip.resolve_cutoff()
+    transposed = zskip.transposed_weights(weights, groups)
+    # The bias add is unconditional (0.0 when absent): it normalizes the
+    # sign of the exactly-zero outputs, the one place the dense and
+    # sparse canonical paths could differ (see repro.nn.sparse).
     if activations.ndim == 4:
         batch = activations.shape[0]
         out = np.empty((batch, num_filters, out_y, out_x), dtype=out_dtype)
@@ -174,16 +194,16 @@ def conv2d(
                 kernel_x,
                 stride,
             )
-            w_mat = weights[g * group_filters : (g + 1) * group_filters].reshape(
-                group_filters, -1
-            )
             for b in range(batch):
-                result = cols[b] @ w_mat.T  # (out_y*out_x, group_filters)
+                result = zskip.partitioned_gemm(
+                    cols[b], transposed[g], mode, cutoff
+                )  # (out_y*out_x, group_filters)
                 out[b, g * group_filters : (g + 1) * group_filters] = (
                     result.T.reshape(group_filters, out_y, out_x)
                 )
-        if bias is not None:
-            out += np.asarray(bias).reshape(1, num_filters, 1, 1)
+        out += (
+            np.asarray(bias).reshape(1, num_filters, 1, 1) if bias is not None else 0.0
+        )
         return out
 
     out = np.empty((num_filters, out_y, out_x), dtype=out_dtype)
@@ -191,15 +211,13 @@ def conv2d(
         cols = im2col(
             padded[g * group_depth : (g + 1) * group_depth], kernel_y, kernel_x, stride
         )
-        w_mat = weights[g * group_filters : (g + 1) * group_filters].reshape(
-            group_filters, -1
-        )
-        result = cols @ w_mat.T  # (out_y*out_x, group_filters)
+        result = zskip.partitioned_gemm(
+            cols, transposed[g], mode, cutoff
+        )  # (out_y*out_x, group_filters)
         out[g * group_filters : (g + 1) * group_filters] = result.T.reshape(
             group_filters, out_y, out_x
         )
-    if bias is not None:
-        out += np.asarray(bias).reshape(num_filters, 1, 1)
+    out += np.asarray(bias).reshape(num_filters, 1, 1) if bias is not None else 0.0
     return out
 
 
@@ -396,15 +414,23 @@ def lrn(
 
 
 def fully_connected(
-    activations: np.ndarray, weights: np.ndarray, bias: np.ndarray | None = None
+    activations: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray | None = None,
+    sparse_mode: str | None = None,
 ) -> np.ndarray:
     """Fully-connected layer: flatten input, multiply by ``(out, in)`` weights.
 
     A batched ``(batch, ...)`` input (ndim == 4) yields ``(batch, out)``.
     The matrix-vector product runs per image: BLAS GEMV and GEMM kernels
     accumulate in different orders, so a single stacked GEMM would not be
-    bit-identical to the single-image path (see module docstring).
+    bit-identical to the single-image path (see module docstring).  The
+    matvec routes through :func:`repro.nn.sparse.partitioned_matvec` so
+    the ``CNVLUTIN_SPARSE`` path can skip the zero input elements;
+    ``sparse_mode`` overrides the mode per call (never the bytes).
     """
+    mode = zskip.resolve_mode(sparse_mode)
+    cutoff = zskip.resolve_cutoff()
     if activations.ndim == 4:
         batch = activations.shape[0]
         flat = activations.reshape(batch, -1)
@@ -417,18 +443,18 @@ def fully_connected(
             (batch, weights.shape[0]), dtype=np.result_type(activations, weights)
         )
         for b in range(batch):
-            out[b] = weights @ flat[b]
-        if bias is not None:
-            out = out + bias
+            out[b] = zskip.partitioned_matvec(weights, flat[b], mode, cutoff)
+        # Unconditional add: normalizes the sign of exact zeros so dense
+        # and sparse modes stay byte-identical (see repro.nn.sparse).
+        out = out + (bias if bias is not None else 0.0)
         return out
     flat = activations.reshape(-1)
     if weights.shape[1] != flat.size:
         raise ValueError(
             f"FC weight columns {weights.shape[1]} != flattened input {flat.size}"
         )
-    out = weights @ flat
-    if bias is not None:
-        out = out + bias
+    out = zskip.partitioned_matvec(weights, flat, mode, cutoff)
+    out = out + (bias if bias is not None else 0.0)
     return out
 
 

@@ -1,0 +1,94 @@
+"""Chaos test: sparse:gemm faults through the experiment pipeline.
+
+A tiny pipeline run with ``CNVLUTIN_SPARSE=always`` and injected
+``sparse:gemm`` faults must complete with correct results (every injected
+fault falls back to the byte-identical dense path), and the v3 manifest +
+``repro-obs report`` must surface both the sparse-kernel activity and the
+injections.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.experiments.config import PaperConfig
+from repro.experiments.report import results_to_json_doc
+from repro.experiments.runner import run_all, run_all_with_manifest
+from repro.obs.report import metrics_report
+
+
+def tiny_config(tmp_path, **overrides):
+    kwargs = {
+        "scale": "tiny",
+        "networks": ["alex"],
+        "num_images": 1,
+        "smallcnn": False,
+        "use_cache": False,
+    }
+    kwargs.update(overrides)
+    return PaperConfig(cache_dir=tmp_path, **kwargs)
+
+
+class TestSparseChaosPipeline:
+    @pytest.fixture()
+    def chaos_env(self, monkeypatch):
+        # A spec distinct from the other tests': the process-wide injector
+        # is rebuilt (trial counts reset) whenever CNVLUTIN_FAULTS changes.
+        monkeypatch.setenv("CNVLUTIN_SPARSE", "always")
+        monkeypatch.setenv("CNVLUTIN_FAULTS", "sparse:gemm=raise@1,4")
+
+    def test_faulted_run_matches_clean_run(self, tmp_path, monkeypatch):
+        """Injected sparse:gemm faults never change a result byte."""
+        monkeypatch.setenv("CNVLUTIN_SPARSE", "always")
+        monkeypatch.delenv("CNVLUTIN_FAULTS", raising=False)
+        clean = run_all(
+            tiny_config(tmp_path / "clean"), only=["fig1"], verbose=False
+        )
+        monkeypatch.setenv("CNVLUTIN_FAULTS", "sparse:gemm=raise@0,3,7")
+        faulted = run_all(
+            tiny_config(tmp_path / "faulted"), only=["fig1"], verbose=False
+        )
+        assert results_to_json_doc(faulted) == results_to_json_doc(clean)
+
+    def test_manifest_and_report_surface_sparse_counters(
+        self, tmp_path, chaos_env
+    ):
+        obs.reset_metrics()
+        _, manifest = run_all_with_manifest(
+            tiny_config(tmp_path), only=["fig1"], verbose=False
+        )
+        payload = manifest.to_dict()
+        assert json.loads(json.dumps(payload))["version"] == 3
+
+        counters = payload["metrics"]["counters"]
+        assert counters["engine.sparse.gemms.sparse"] >= 1
+        assert "engine.sparse.macs.total" in counters
+        assert counters["engine.sparse.macs.skipped"] >= 1
+        assert counters["engine.sparse.fallbacks"] >= 1
+        assert counters["faults.injected"] >= 1
+        assert counters["faults.injected.sparse:gemm"] >= 1
+        # Every fallback corresponds to an injection that fired here.
+        assert (
+            counters["engine.sparse.fallbacks"]
+            <= counters["faults.injected.sparse:gemm"]
+        )
+
+        report = metrics_report(payload)
+        assert "-- sparse kernels --" in report
+        assert "fallbacks:" in report
+        assert "sparse:gemm:" in report
+
+    def test_clean_sparse_run_reports_zero_fallbacks(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("CNVLUTIN_SPARSE", "always")
+        monkeypatch.delenv("CNVLUTIN_FAULTS", raising=False)
+        obs.reset_metrics()
+        _, manifest = run_all_with_manifest(
+            tiny_config(tmp_path), only=["fig1"], verbose=False
+        )
+        counters = manifest.to_dict()["metrics"]["counters"]
+        assert counters["engine.sparse.gemms.sparse"] >= 1
+        assert counters.get("engine.sparse.fallbacks", 0) == 0
+        report = metrics_report(manifest.to_dict())
+        assert "-- sparse kernels --" in report
+        assert "fallbacks: 0" in report
