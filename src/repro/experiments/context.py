@@ -129,9 +129,15 @@ class ExperimentContext:
         config: PaperConfig | None = None,
         arch: ArchConfig = PAPER_CONFIG,
         artifacts: ArtifactCache | None = None,
+        stores: dict[str, WeightStore] | None = None,
     ):
         self.config = config if config is not None else PaperConfig()
         self.arch = arch
+        # Pre-built (typically shared-memory-attached, already calibrated)
+        # weight stores: a network named here skips init_weights and
+        # calibration entirely — how a serving shard reuses the router's
+        # published weights without recomputing or copying them.
+        self._preset_stores = dict(stores or {})
         # One injector per context: the artifact cache's fault sites
         # (cache:read / cache:write) share trial counters with the unit
         # sites the parallel runner fires against this same context.
@@ -177,6 +183,22 @@ class ExperimentContext:
         if name in self._networks:
             return self._networks[name]
         network = self.network_structure(name)
+        preset = self._preset_stores.get(name)
+        if preset is not None:
+            # The preset store is final (float32 weights + calibration
+            # shifts baked in); only the deterministic input images are
+            # rebuilt locally — they are derived from config seed alone.
+            images = natural_images(
+                network.input_shape,
+                self.config.num_images,
+                seed=self.config.seed + 1,
+            )
+            images = [img.astype(np.float32) for img in images]
+            ctx = NetworkContext(
+                name=name, network=network, store=preset, images=images
+            )
+            self._networks[name] = ctx
+            return ctx
         rng = np.random.default_rng(self.config.seed)
         store = init_weights(network, rng)
         images = natural_images(

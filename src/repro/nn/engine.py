@@ -27,6 +27,7 @@ recomputation under tiny budgets rather than failing.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -51,6 +52,7 @@ __all__ = [
     "EngineStats",
     "threshold_scopes",
     "slice_result",
+    "attach_shared_weights",
 ]
 
 #: Default LRU cache budget in MiB; override with CNVLUTIN_ENGINE_CACHE_MB.
@@ -84,6 +86,35 @@ def _cache_budget_bytes() -> int:
         )
         budget_mb = DEFAULT_CACHE_MB
     return int(budget_mb * 1024 * 1024)
+
+
+def attach_shared_weights(manifest: dict) -> dict[str, WeightStore]:
+    """Attach a published shared-memory weight arena as engine stores.
+
+    Returns one read-only zero-copy :class:`WeightStore` view per
+    network from an arena manifest (see :class:`repro.nn.shm.
+    SharedWeightArena`) — the stores a sharded serving worker hands to
+    its engines so N shards share one physical copy of every weight.
+    The views record ``engine.shared.attached`` so a metrics snapshot
+    shows which processes run on shared weights.
+    """
+    from repro.nn.shm import SharedWeightArena
+
+    arena = SharedWeightArena.attach(manifest)
+    # Keep the mapping object alive for the process lifetime: the views
+    # pin the buffer, but letting the SharedMemory handle be collected
+    # would run its close() finalizer against an exported buffer.
+    _ATTACHED_ARENAS.append(arena)
+    obs.counter_add("engine.shared.attached")
+    obs.counter_add(
+        "engine.shared.bytes", float(arena.manifest.get("bytes", 0))
+    )
+    return arena.stores
+
+
+#: Arenas attached by this process (held so finalizers never fire while
+#: zero-copy weight views are live).
+_ATTACHED_ARENAS: list = []
 
 
 def _is_prunable(layer: LayerSpec) -> bool:
@@ -204,6 +235,9 @@ class IncrementalForwardEngine:
             OrderedDict()
         )
         self._cache_used = 0
+        # run() mutates the LRU; the serving worker pool calls it from
+        # multiple threads (asyncio.to_thread), so serialize it.
+        self._run_lock = threading.Lock()
 
     @property
     def batch(self) -> int:
@@ -297,6 +331,17 @@ class IncrementalForwardEngine:
         rest compute (batched) and populate it.  Use :func:`slice_result`
         for per-image views.
         """
+        with self._run_lock:
+            return self._run_locked(
+                thresholds, collect_conv_inputs, keep_outputs
+            )
+
+    def _run_locked(
+        self,
+        thresholds: dict[str, float] | None,
+        collect_conv_inputs: bool,
+        keep_outputs: bool,
+    ) -> ForwardResult:
         network, store = self.network, self.store
         thresholds = thresholds or {}
         outputs: dict[str, np.ndarray] = {}

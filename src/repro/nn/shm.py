@@ -1,0 +1,203 @@
+"""Read-only shared-memory arena for calibrated network weights.
+
+N serving shards must not carry N private copies of every calibrated
+:class:`~repro.nn.inference.WeightStore`.  The router (the *owner*)
+packs all weight and bias arrays of every network into **one**
+``multiprocessing.shared_memory`` block and hands shards a JSON-safe
+*manifest* (block name + per-array offset/shape/dtype).  Each shard
+*attaches* by name and rebuilds its stores as zero-copy, read-only numpy
+views over the same physical pages — the forward path never writes
+weights, so one set of pages serves every shard regardless of the
+per-shard ``CNVLUTIN_ENGINE_CACHE_MB`` activation-cache budget.
+
+Layout and bit-identity
+-----------------------
+Every array is copied byte-exact into the block at a 64-byte-aligned
+offset (matching numpy's own allocation alignment, so BLAS sees the
+same alignment class it would on a private copy); calibration ``shifts``
+are scalars/small vectors and travel inside the manifest as plain JSON.
+An attached view therefore computes bit-identically to the private store
+it was published from — the sharded differential tests assert exactly
+that, end to end through the serving tier.
+
+Ownership / cleanup protocol (documented in DESIGN.md)
+------------------------------------------------------
+* The **owner** creates the block, publishes, and is the only process
+  that ever calls :meth:`SharedWeightArena.unlink` (at service stop) —
+  unlink-by-name works even while attachers hold views.
+* **Attachers** never unlink.  CPython 3.11 registers *attached* blocks
+  with the ``resource_tracker`` too, which would unlink the block when
+  the first shard exits; :meth:`attach` therefore unregisters the
+  attachment immediately (the documented workaround until the 3.13
+  ``track=False`` parameter).
+* ``close()`` is best-effort on both sides: live numpy views export the
+  buffer, and tearing them down is the process-exit path anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.nn.inference import WeightStore
+
+__all__ = ["SharedWeightArena", "process_pss_kb"]
+
+#: Arena offsets are rounded up to this; numpy allocates 64-byte-aligned
+#: buffers, and keeping the same alignment keeps BLAS code paths (and
+#: therefore bits) identical between private and shared stores.
+ALIGNMENT = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) & ~(ALIGNMENT - 1)
+
+
+def _shift_to_json(value):
+    return value.tolist() if isinstance(value, np.ndarray) else float(value)
+
+
+def _shift_from_json(value):
+    return np.asarray(value) if isinstance(value, list) else float(value)
+
+
+@dataclass
+class SharedWeightArena:
+    """One shared block holding every published array, plus its manifest."""
+
+    shm: shared_memory.SharedMemory
+    manifest: dict
+    stores: dict[str, WeightStore]
+    owner: bool
+
+    # ------------------------------------------------------------------
+    # publish (owner side)
+    # ------------------------------------------------------------------
+    @classmethod
+    def publish(cls, stores: dict[str, WeightStore]) -> "SharedWeightArena":
+        """Pack the arrays of every store into one new shared block.
+
+        Returns an arena whose ``manifest`` is JSON-safe (what a shard
+        spec carries) and whose ``stores`` are the original private
+        stores, untouched — the owner keeps computing on its own copies.
+        """
+        plan: list[tuple[str, str, str, np.ndarray, int]] = []
+        offset = 0
+        for network in sorted(stores):
+            store = stores[network]
+            for section in ("weights", "biases"):
+                arrays = getattr(store, section)
+                for layer in sorted(arrays):
+                    arr = np.ascontiguousarray(arrays[layer])
+                    offset = _aligned(offset)
+                    plan.append((network, section, layer, arr, offset))
+                    offset += arr.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        networks: dict[str, dict] = {}
+        for network, section, layer, arr, start in plan:
+            view = np.ndarray(
+                arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=start
+            )
+            view[...] = arr
+            entry = networks.setdefault(
+                network, {"weights": {}, "biases": {}, "shifts": {}}
+            )
+            entry[section][layer] = {
+                "offset": start,
+                "shape": list(arr.shape),
+                "dtype": arr.dtype.str,
+            }
+        for network, store in stores.items():
+            entry = networks.setdefault(
+                network, {"weights": {}, "biases": {}, "shifts": {}}
+            )
+            entry["shifts"] = {
+                layer: _shift_to_json(value)
+                for layer, value in store.shifts.items()
+            }
+        manifest = {"shm": shm.name, "bytes": offset, "networks": networks}
+        return cls(shm=shm, manifest=manifest, stores=dict(stores), owner=True)
+
+    # ------------------------------------------------------------------
+    # attach (shard side)
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, manifest: dict) -> "SharedWeightArena":
+        """Open the published block and rebuild read-only view stores."""
+        # CPython 3.11 registers *attachments* with the resource tracker,
+        # which would unlink the owner's block when the first attaching
+        # process exits (and duplicate unregisters from sibling shards
+        # make the shared tracker process log KeyErrors).  Suppress the
+        # registration entirely for the attach call — the owner's own
+        # registration from publish() remains the single tracked claim.
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            shm = shared_memory.SharedMemory(name=manifest["shm"], create=False)
+        finally:
+            resource_tracker.register = original_register
+        stores: dict[str, WeightStore] = {}
+        for network, entry in manifest["networks"].items():
+            sections: dict[str, dict[str, np.ndarray]] = {}
+            for section in ("weights", "biases"):
+                arrays = {}
+                for layer, meta in entry[section].items():
+                    view = np.ndarray(
+                        tuple(meta["shape"]),
+                        dtype=np.dtype(meta["dtype"]),
+                        buffer=shm.buf,
+                        offset=meta["offset"],
+                    )
+                    view.flags.writeable = False
+                    arrays[layer] = view
+                sections[section] = arrays
+            stores[network] = WeightStore(
+                weights=sections["weights"],
+                biases=sections["biases"],
+                shifts={
+                    layer: _shift_from_json(value)
+                    for layer, value in entry["shifts"].items()
+                },
+            )
+        return cls(shm=shm, manifest=manifest, stores=stores, owner=False)
+
+    # ------------------------------------------------------------------
+    # cleanup
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping (best-effort: live views keep the
+        buffer exported, and process exit unmaps regardless)."""
+        try:
+            self.shm.close()
+        except BufferError:
+            pass
+
+    def unlink(self) -> None:
+        """Remove the block name (owner only; safe while attached)."""
+        if not self.owner:
+            raise RuntimeError("only the publishing owner may unlink the arena")
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double stop
+            pass
+
+
+def process_pss_kb(pid: int) -> int | None:
+    """Proportional set size of a process in KiB (Linux smaps_rollup).
+
+    PSS attributes shared pages fractionally across their mappers, so
+    summing it over the router + shards measures the *actual* incremental
+    memory of adding a shard — the number the sharded benchmark's RSS
+    criterion gates on.  Returns ``None`` where the kernel interface is
+    unavailable.
+    """
+    try:
+        with open(f"/proc/{pid}/smaps_rollup") as handle:
+            for line in handle:
+                if line.startswith("Pss:"):
+                    return int(line.split()[1])
+    except (FileNotFoundError, PermissionError, ProcessLookupError, OSError):
+        return None
+    return None

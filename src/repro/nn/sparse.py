@@ -109,15 +109,31 @@ def resolve_mode(mode: str | None = None) -> str:
 
 
 def resolve_cutoff() -> float:
-    """The ``auto`` dead-fraction cutoff, from ``CNVLUTIN_SPARSE_CUTOFF``."""
+    """The ``auto`` dead-fraction cutoff, from ``CNVLUTIN_SPARSE_CUTOFF``.
+
+    A non-numeric, non-finite, or out-of-[0, 1] value falls back to the
+    default *with a warning* (mirroring ``CNVLUTIN_ENGINE_CACHE_MB``):
+    a bad environment variable must never make a forward pass raise,
+    but it must not be silently swallowed either.
+    """
+    import math
+    import warnings
+
     raw = os.environ.get(CUTOFF_ENV)
     if raw is None:
         return DEFAULT_CUTOFF
     try:
         cutoff = float(raw)
     except ValueError:
-        return DEFAULT_CUTOFF
-    if not 0.0 <= cutoff <= 1.0:
+        cutoff = float("nan")
+    if not math.isfinite(cutoff) or not 0.0 <= cutoff <= 1.0:
+        warnings.warn(
+            f"ignoring invalid {CUTOFF_ENV}={raw!r} "
+            f"(expected a number in [0, 1]); using the default "
+            f"{DEFAULT_CUTOFF:g}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
         return DEFAULT_CUTOFF
     return cutoff
 

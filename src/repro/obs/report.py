@@ -21,7 +21,10 @@ metrics snapshot the run serialized (see :mod:`repro.obs.metrics`):
   summaries;
 * a serving summary (``serve.*``, when present): request outcomes with
   the shed rate, batch count/size, retries, and latency — the
-  ``repro-serve`` namespaces.
+  ``repro-serve`` namespaces;
+* a sharded-serving summary (``router.*`` / ``shard.*``, when present):
+  forwarded/shed/failover/death/respawn counts, per-shard forward
+  distribution, and the shared-weight arena size.
 
 The experiment runner's ``--metrics`` flag prints the same report for
 the run it just finished.
@@ -197,6 +200,42 @@ def metrics_report(manifest: dict, top: int = 15) -> str:
             f"max {latency_hist.get('max', 0.0):.1f} ms; "
             f"queue depth last {gauges.get('serve.queue_depth', 0):.0f}"
         )
+
+    router_requests = counters.get("router.requests", 0)
+    if router_requests:
+        forward_hist = histograms.get("router.forward_ms", {})
+        forward_count = int(forward_hist.get("count", 0))
+        mean_forward = (
+            float(forward_hist.get("total", 0.0)) / forward_count
+            if forward_count else 0.0
+        )
+        shed = counters.get("router.shed", 0)
+        per_shard = [
+            f"  shard{name[len('router.forwarded.shard'):]}: {value:.0f} "
+            f"forwarded"
+            for name, value in sorted(counters.items())
+            if name.startswith("router.forwarded.shard")
+        ]
+        parts.append(
+            "\n-- sharded serving --\n"
+            f"router: {router_requests:.0f} requests "
+            f"({counters.get('router.forwarded', 0):.0f} forwarded / "
+            f"{shed:.0f} shed / "
+            f"{counters.get('router.errors', 0):.0f} error; "
+            f"shed rate {shed / router_requests:.0%})\n"
+            f"failover: {counters.get('router.retries', 0):.0f} retries, "
+            f"{counters.get('router.failovers', 0):.0f} failovers, "
+            f"{counters.get('router.deaths', 0):.0f} deaths, "
+            f"{counters.get('router.respawns', 0):.0f} respawns; "
+            f"live shards {gauges.get('router.live_shards', 0):.0f}\n"
+            f"forward: mean {mean_forward:.1f} ms, "
+            f"max {forward_hist.get('max', 0.0):.1f} ms "
+            f"(shared weights: "
+            f"{counters.get('engine.shared.attached', 0):.0f} attach(es), "
+            f"{counters.get('engine.shared.bytes', 0) / 1e6:.1f} MB arena)"
+        )
+        if per_shard:
+            parts.append("\n".join(per_shard))
 
     sparse_gemms = counters.get("engine.sparse.gemms.sparse", 0)
     dense_gemms = counters.get("engine.sparse.gemms.dense", 0)

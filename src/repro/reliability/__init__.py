@@ -23,10 +23,11 @@ from repro.reliability.faults import (
     InjectedFault,
     parse_faults,
 )
-from repro.reliability.policy import RetryPolicy
+from repro.reliability.policy import RespawnPolicy, RetryPolicy
 
 __all__ = [
     "RetryPolicy",
+    "RespawnPolicy",
     "FaultAction",
     "FaultInjector",
     "FaultRule",

@@ -11,6 +11,7 @@ Spec grammar (rules separated by ``;``)::
     rule            = site "=" action ("~" probability)? ("@" trials)?
     site            = "unit:" experiment "/" target
                     | "cache:read" | "cache:write" | "pool:worker"
+                    | "serve:batch" | "shard:forward" | "shard:serve"
     action          = "raise" | "crash" | "corrupt" | "delay:" seconds
     trials          = index ("," index)* | "*"
 
@@ -22,6 +23,10 @@ Examples::
                                    truncated object on disk
     unit:fig1/alex=delay:30@0      first attempt hangs for 30 s
     cache:read=raise~0.5@*         every read raises with probability .5
+    shard:forward=raise@0          router's first forward to a shard
+                                   fails, driving failover to a replica
+    shard:serve=crash@5            the shard process serving the 6th
+                                   sharded request hard-exits mid-run
 
 Semantics:
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
-__all__ = ["RetryPolicy", "hash_fraction"]
+__all__ = ["RetryPolicy", "RespawnPolicy", "hash_fraction"]
 
 
 def hash_fraction(*coordinates) -> float:
@@ -84,3 +84,56 @@ class RetryPolicy:
     def retries_left(self, attempt: int) -> bool:
         """May a unit whose 0-based ``attempt`` just failed try again?"""
         return attempt + 1 < self.max_attempts
+
+
+@dataclass(frozen=True)
+class RespawnPolicy:
+    """How a supervisor treats a *process* (not a work unit) that dies.
+
+    Retry governs one request's attempts; respawn governs bringing a
+    crashed serving shard back.  The two compose: while a dead shard is
+    being respawned, in-flight requests fail over to a live replica
+    under :class:`RetryPolicy`, and the respawned process rejoins the
+    hash ring once it answers a ping.
+
+    max_respawns:
+        How many times one slot (e.g. shard index) may be brought back
+        over the supervisor's lifetime; a slot that exceeds it stays
+        dead and its key range remains with the failover owners.
+    backoff_base / backoff_factor / backoff_max / jitter / seed:
+        Same deterministic schedule as :class:`RetryPolicy`, keyed on
+        (seed, slot label, respawn index) so chaos runs sleep
+        identically run to run.
+    """
+
+    max_respawns: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+
+    def allows(self, respawn_index: int) -> bool:
+        """May a slot be respawned for the ``respawn_index``-th time (0-based)?"""
+        return respawn_index < self.max_respawns
+
+    def delay(self, slot_label: str, respawn_index: int) -> float:
+        """Seconds to wait before restarting ``slot_label``.
+
+        Records ``respawn.scheduled`` / ``respawn.backoff_seconds`` in
+        the metrics registry, mirroring :meth:`RetryPolicy.delay`.
+        """
+        from repro import obs
+
+        base = min(
+            self.backoff_max, self.backoff_base * self.backoff_factor**respawn_index
+        )
+        spread = 2.0 * hash_fraction(self.seed, slot_label, respawn_index) - 1.0
+        value = max(0.0, base * (1.0 + self.jitter * spread))
+        obs.counter_add("respawn.scheduled")
+        obs.counter_add("respawn.backoff_seconds", value)
+        return value

@@ -9,14 +9,26 @@ forward engine, executed on a bounded worker pool with
 responses), per-request deadlines, and a deterministic mode whose
 batched outputs are byte-identical to unbatched direct inference.
 
-Entry points: the :class:`InferenceService` API, and the ``repro-serve``
-CLI (:mod:`repro.serve.cli`) with ``serve`` and ``loadgen`` subcommands.
+The **sharded tier** (:mod:`repro.serve.router` /
+:mod:`repro.serve.shard`) scales that service across N processes behind
+a consistent-hash router: each shard owns a stable slice of the
+``(network, thresholds)`` key space (so its engine prefix cache stays
+hot), all shards share one read-only shared-memory copy of the
+calibrated weights, dead shards fail over and respawn, and deterministic
+mode stays byte-identical to direct inference at any shard count.
+
+Entry points: the :class:`InferenceService` / :class:`ShardedService`
+APIs, and the ``repro-serve`` CLI (:mod:`repro.serve.cli`) with
+``serve`` and ``loadgen`` subcommands (``--shards N`` selects the
+sharded tier).
 """
 
 from repro.serve.batcher import Batch, MicroBatcher
+from repro.serve.hashring import HashRing, request_key
 from repro.serve.loadgen import (
     LoadResult,
     build_requests,
+    build_sweep_requests,
     percentile,
     run_load,
     summarize,
@@ -34,7 +46,9 @@ from repro.serve.requests import (
     ServeResponse,
     canonical_response_bytes,
 )
+from repro.serve.router import ShardDead, ShardedService, ShardTierConfig
 from repro.serve.service import InferenceService, PendingRequest, ServeConfig
+from repro.serve.shard import ShardSpec, run_shard
 
 __all__ = [
     "REQUEST_KINDS",
@@ -51,8 +65,16 @@ __all__ = [
     "ServeConfig",
     "InferenceService",
     "PendingRequest",
+    "HashRing",
+    "request_key",
+    "ShardTierConfig",
+    "ShardedService",
+    "ShardDead",
+    "ShardSpec",
+    "run_shard",
     "LoadResult",
     "build_requests",
+    "build_sweep_requests",
     "run_load",
     "percentile",
     "summarize",

@@ -20,6 +20,14 @@ an in-process service.
         repro-serve loadgen --requests 50 --scale tiny \\
             --networks alex,cnnS --deterministic --json serve-report.json
 
+Both subcommands accept ``--shards N`` to run the sharded tier instead
+of a single in-process service: N shard processes behind a
+consistent-hash router with shared-memory weights, failover, and
+respawn (see :mod:`repro.serve.router`).  ``loadgen --sweep-groups K``
+switches to the sweep workload (probe requests cycling over K
+(network, threshold) groups) whose per-shard cache affinity the sharded
+benchmark measures.
+
 Exit status: 0 on success, 1 when the workload saw any ``error``
 responses, 2 on bad usage.
 """
@@ -32,8 +40,14 @@ import json
 import sys
 
 from repro.nn.models import network_names
-from repro.serve.loadgen import build_requests, run_load, summarize
+from repro.serve.loadgen import (
+    build_requests,
+    build_sweep_requests,
+    run_load,
+    summarize,
+)
 from repro.serve.requests import REQUEST_KINDS, ServeRequest, ServeResponse
+from repro.serve.router import ShardedService, ShardTierConfig
 from repro.serve.service import InferenceService, ServeConfig
 
 __all__ = ["main"]
@@ -76,6 +90,20 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
                         "linger clock (reproducible runs)")
     parser.add_argument("--no-cache", action="store_true",
                         help="skip the on-disk calibration artifact cache")
+    parser.add_argument("--shards", type=int, default=0, metavar="N",
+                        help="run N shard processes behind a consistent-"
+                        "hash router (0 = single in-process service)")
+    parser.add_argument("--shard-window", type=int, default=8,
+                        help="bounded in-flight requests per shard connection")
+    parser.add_argument("--shard-backlog", type=int, default=64,
+                        help="waiting requests per shard before the router "
+                        "sheds")
+    parser.add_argument("--shard-cache-mb", type=float, default=None,
+                        metavar="MB", help="per-shard CNVLUTIN_ENGINE_CACHE_MB"
+                        " override")
+    parser.add_argument("--start-method", default="fork",
+                        choices=["fork", "spawn"],
+                        help="multiprocessing start method for shards")
 
 
 def _service_config(args) -> ServeConfig:
@@ -92,8 +120,24 @@ def _service_config(args) -> ServeConfig:
     )
 
 
+def _build_service(args, trace: bool = False):
+    """The in-process service, or the sharded tier when ``--shards N``."""
+    config = _service_config(args)
+    if not args.shards:
+        return InferenceService(config)
+    tier = ShardTierConfig(
+        shards=args.shards,
+        window=args.shard_window,
+        backlog=args.shard_backlog,
+        engine_cache_mb=args.shard_cache_mb,
+        start_method=args.start_method,
+        trace=trace,
+    )
+    return ShardedService(config, tier=tier)
+
+
 async def _serve_async(args) -> int:
-    service = InferenceService(_service_config(args))
+    service = _build_service(args)
     await service.start()
     served = 0
     done = asyncio.Event()
@@ -156,14 +200,25 @@ async def _loadgen_async(args) -> int:
     if args.trace:
         obs.enable_tracing()
     config = _service_config(args)
-    service = InferenceService(config)
-    requests = build_requests(
-        args.requests,
-        networks=args.networks,
-        kinds=args.kinds,
-        seed=args.seed,
-        deadline_ms=args.deadline_ms,
-    )
+    service = _build_service(args, trace=bool(args.trace))
+    if args.sweep_groups:
+        requests = build_sweep_requests(
+            args.requests,
+            networks=args.networks,
+            variants_per_network=max(
+                1, args.sweep_groups // max(1, len(args.networks))
+            ),
+            kinds=args.kinds,
+            deadline_ms=args.deadline_ms,
+        )
+    else:
+        requests = build_requests(
+            args.requests,
+            networks=args.networks,
+            kinds=args.kinds,
+            seed=args.seed,
+            deadline_ms=args.deadline_ms,
+        )
     await service.start()
     try:
         result = await run_load(
@@ -185,6 +240,8 @@ async def _loadgen_async(args) -> int:
                 "deterministic": config.deterministic,
                 "rate": args.rate,
                 "kinds": args.kinds or list(REQUEST_KINDS),
+                "shards": args.shards,
+                "sweep_groups": args.sweep_groups,
             },
             "summary": summary,
             "metrics": obs.get_metrics().snapshot(),
@@ -220,6 +277,11 @@ def main(argv: list[str] | None = None) -> int:
                          metavar="K1,K2,...",
                          help=f"request mix (default {','.join(REQUEST_KINDS)})")
     loadgen.add_argument("--deadline-ms", type=float, default=None)
+    loadgen.add_argument("--sweep-groups", type=int, default=0, metavar="K",
+                         help="use the sweep workload: probe requests "
+                         "cycling over K (network, threshold) groups — the "
+                         "traffic shape the sharded tier's cache "
+                         "partitioning accelerates")
     loadgen.add_argument("--json", default=None, metavar="REPORT_JSON",
                          help="write summary + metrics snapshot")
     loadgen.add_argument("--trace", default=None, metavar="TRACE_JSON",

@@ -1,0 +1,131 @@
+"""Consistent-hash ring for shard routing.
+
+The sharded serving tier routes every request by its ``(network,
+thresholds)`` identity so that all requests sharing a threshold
+configuration land on the same shard — which is what keeps that shard's
+:class:`~repro.nn.engine.IncrementalForwardEngine` prefix cache hot for
+its slice of the key space.  A consistent hash (rather than
+``hash(key) % N``) makes shard death cheap: removing a node re-owns only
+the dead node's arc of the ring, so every surviving shard keeps its
+cached working set.
+
+Points are the first 8 bytes of SHA-256 — deterministic across
+processes and Python runs (never the salted builtin ``hash``), so the
+router, tests, and a respawned shard all agree on ownership.  Each node
+contributes ``vnodes`` virtual points, which is what bounds the load
+imbalance (the property test pins max/mean ≤ 2 at the default 64).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing", "request_key"]
+
+#: Virtual points per node; more points → tighter balance, slower add/remove.
+DEFAULT_VNODES = 64
+
+
+def request_key(network: str, thresholds_key: tuple = ()) -> str:
+    """Canonical routing key of a request: network + active thresholds.
+
+    ``thresholds_key`` is the sorted tuple from
+    :meth:`~repro.serve.requests.ServeRequest.thresholds_key`; floats
+    render through ``repr`` so two configs map to the same key iff they
+    would batch together.
+    """
+    parts = [network]
+    parts.extend(f"{layer}={value!r}" for layer, value in thresholds_key)
+    return "|".join(parts)
+
+
+def _point(text: str) -> int:
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over integer node ids."""
+
+    def __init__(self, nodes=(), vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._nodes: set[int] = set()
+        self._points: list[int] = []  # sorted virtual points
+        self._owners: list[int] = []  # node per point, parallel to _points
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add(self, node: int) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for replica in range(self.vnodes):
+            point = _point(f"node:{node}#{replica}")
+            index = bisect.bisect_left(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, node)
+
+    def remove(self, node: int) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != node
+        ]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    def nodes(self) -> list[int]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._nodes
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def owner(self, key: str) -> int:
+        """The node owning ``key``; raises when the ring is empty."""
+        preference = self.preference(key, limit=1)
+        if not preference:
+            raise LookupError("hash ring is empty")
+        return preference[0]
+
+    def preference(self, key: str, limit: int | None = None) -> list[int]:
+        """Nodes in failover order for ``key``: owner first, then the
+        distinct nodes met walking the ring clockwise.
+
+        The list is what the router's retry loop consumes — attempt ``n``
+        goes to ``preference[n % len(preference)]``, so a failed owner's
+        traffic lands deterministically on its ring successor.
+        """
+        if not self._points:
+            return []
+        want = len(self._nodes) if limit is None else min(limit, len(self._nodes))
+        start = bisect.bisect_right(self._points, _point(key))
+        order: list[int] = []
+        seen: set[int] = set()
+        total = len(self._points)
+        for step in range(total):
+            owner = self._owners[(start + step) % total]
+            if owner not in seen:
+                seen.add(owner)
+                order.append(owner)
+                if len(order) >= want:
+                    break
+        return order
+
+    def assignments(self, keys) -> dict[str, int]:
+        """Key → owner for a batch of keys (test/analysis convenience)."""
+        return {key: self.owner(key) for key in keys}

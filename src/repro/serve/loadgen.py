@@ -12,21 +12,42 @@ Two modes:
   ``drain()`` — fixed batch boundaries, used by the differential tests
   and the benchmark's correctness cross-check.
 
+All timestamps — arrival schedule, wall clock, and the service's own
+``latency_ms`` stamps — come from one ``time.perf_counter()`` epoch,
+the same clock the :mod:`repro.obs` spans hang off; percentiles are
+therefore computed on the axis the service measured on (mixing the
+event loop's clock with the span clock used to skew p99 under
+overload).
+
 Arrival jitter comes from :func:`repro.reliability.policy.hash_fraction`
 (the same deterministic hash the retry backoff uses), never from global
 random state: a (seed, index) pair always yields the same schedule.
+
+:func:`build_requests` produces the distinct-input mixed workload;
+:func:`build_sweep_requests` produces the *sweep* workload — repeated
+probe requests cycling over K (network, threshold-variant) groups, the
+traffic shape whose working set the sharded tier's consistent-hash
+routing partitions across per-shard engine caches.
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 
 from repro.reliability.policy import hash_fraction
 from repro.serve.requests import REQUEST_KINDS, ServeRequest, ServeResponse
 from repro.serve.service import InferenceService
 
-__all__ = ["LoadResult", "build_requests", "run_load", "percentile", "summarize"]
+__all__ = [
+    "LoadResult",
+    "build_requests",
+    "build_sweep_requests",
+    "run_load",
+    "percentile",
+    "summarize",
+]
 
 
 def build_requests(
@@ -55,6 +76,57 @@ def build_requests(
                 kind=kinds[index % len(kinds)],
                 network=networks[index % len(networks)],
                 image_seed=int(hash_fraction(seed, "image", index) * 2**31),
+                thresholds=thresholds,
+                deadline_ms=deadline_ms,
+            )
+        )
+    return requests
+
+
+def build_sweep_requests(
+    count: int,
+    networks: list[str],
+    variants_per_network: int = 12,
+    kinds: list[str] | None = None,
+    layers: tuple[str, ...] = ("conv2", "conv3"),
+    base_threshold: float = 0.02,
+    probe_indices: tuple[int, ...] = (0,),
+    deadline_ms: float | None = None,
+) -> list[ServeRequest]:
+    """A sweep-serving workload: probe requests cycling over K groups.
+
+    Each *group* is one (network, single-layer threshold variant) — a
+    genuinely distinct computation (different pruning → different
+    activations, cycles, zero fractions) targeting real early conv
+    layers so each variant's cached suffix is a large share of the
+    forward.  Requests round-robin the groups, so every group recurs
+    every K requests: the repeat traffic that rewards a shard keeping
+    its slice of the key space cached, and punishes one process trying
+    to hold all K working sets in a bounded LRU.
+    """
+    kinds = list(kinds) if kinds else list(REQUEST_KINDS)
+    unknown = [kind for kind in kinds if kind not in REQUEST_KINDS]
+    if unknown:
+        raise ValueError(f"unknown request kinds {unknown}")
+    if variants_per_network < 1:
+        raise ValueError("variants_per_network must be >= 1")
+    groups: list[tuple[str, dict[str, float]]] = []
+    for network in networks:
+        for variant in range(variants_per_network):
+            layer = layers[variant % len(layers)]
+            value = round(
+                base_threshold * (1 + variant // len(layers)), 6
+            )
+            groups.append((network, {layer: value}))
+    requests = []
+    for index in range(count):
+        network, thresholds = groups[index % len(groups)]
+        requests.append(
+            ServeRequest(
+                id=f"s{index:06d}",
+                kind=kinds[index % len(kinds)],
+                network=network,
+                image_index=probe_indices[index % len(probe_indices)],
                 thresholds=thresholds,
                 deadline_ms=deadline_ms,
             )
@@ -97,10 +169,12 @@ async def run_load(
     hash in [-1, 1) — open loop.  Without a rate, everything is
     submitted immediately in order and the service drained (closed
     loop; with a deterministic service this yields fixed batch cuts).
+
+    ``service`` is anything with the submission surface — the in-process
+    :class:`InferenceService` or the sharded router front end.
     """
-    loop = asyncio.get_running_loop()
     result = LoadResult()
-    start = loop.time()
+    start = time.perf_counter()
 
     if rate is None:
         outcomes = [service.try_submit(request) for request in requests]
@@ -114,7 +188,7 @@ async def run_load(
         async def _one(index: int, request: ServeRequest) -> None:
             spread = 2.0 * hash_fraction(seed, "arrival", index) - 1.0
             target = start + (index / rate) * (1.0 + jitter * spread)
-            delay = target - loop.time()
+            delay = target - time.perf_counter()
             if delay > 0:
                 await asyncio.sleep(delay)
             result.responses[request.id] = await service.submit(request)
@@ -124,7 +198,7 @@ async def run_load(
         )
         await service.drain()
 
-    result.wall_s = loop.time() - start
+    result.wall_s = time.perf_counter() - start
     return result
 
 
@@ -138,13 +212,49 @@ def percentile(sorted_values: list[float], q: float) -> float:
     return float(sorted_values[int(rank) - 1])
 
 
+def _shard_breakdown(result: LoadResult) -> dict[str, dict]:
+    """Per-shard outcome/latency digest (responses tagged by the shard
+    worker; untagged responses — router-local sheds/errors — bucket
+    under ``"router"``)."""
+    buckets: dict[str, list[ServeResponse]] = {}
+    for response in result.responses.values():
+        key = "router" if response.shard is None else f"shard{response.shard}"
+        buckets.setdefault(key, []).append(response)
+    breakdown = {}
+    for key in sorted(buckets):
+        responses = buckets[key]
+        latencies = sorted(
+            r.latency_ms
+            for r in responses
+            if r.status == "ok" and r.latency_ms is not None
+        )
+        statuses: dict[str, int] = {}
+        for response in responses:
+            statuses[response.status] = statuses.get(response.status, 0) + 1
+        breakdown[key] = {
+            "requests": len(responses),
+            "ok": statuses.get("ok", 0),
+            "shed": statuses.get("shed", 0),
+            "timeout": statuses.get("timeout", 0),
+            "error": statuses.get("error", 0),
+            "p50_ms": round(percentile(latencies, 50), 3),
+            "p99_ms": round(percentile(latencies, 99), 3),
+        }
+    return breakdown
+
+
 def summarize(result: LoadResult) -> dict:
-    """JSON-safe digest: throughput, latency percentiles, shed rate."""
+    """JSON-safe digest: throughput, latency percentiles, shed rate.
+
+    When any response carries a shard tag (sharded serving), the digest
+    gains a ``per_shard`` breakdown — the ``--json`` report's view of
+    how the consistent-hash router spread the key space.
+    """
     statuses = result.by_status()
     latencies = result.ok_latencies_ms()
     total = len(result.responses)
     ok = statuses.get("ok", 0)
-    return {
+    summary = {
         "requests": total,
         "ok": ok,
         "shed": statuses.get("shed", 0),
@@ -160,3 +270,8 @@ def summarize(result: LoadResult) -> dict:
             "max": round(latencies[-1], 3) if latencies else 0.0,
         },
     }
+    if any(
+        response.shard is not None for response in result.responses.values()
+    ):
+        summary["per_shard"] = _shard_breakdown(result)
+    return summary

@@ -12,10 +12,16 @@ run_stack`) forwards the coalesced request stacks.
 batched forward shared by every request in the batch (classify,
 zero-fraction, and timing requests coalesce freely as long as they agree
 on network + thresholds), then per-request payload assembly from the
-sliced activations.  :func:`direct_response` is the reference
-implementation — one :func:`~repro.nn.inference.run_forward` per request
-with no batching, no engine, no service — against which the differential
-tests assert byte-identical responses.
+sliced activations.  Seeded requests (distinct synthetic inputs) stack
+through the engine's one-off batch admission; *probe* requests
+(``image_index`` into the engine's resident stack) run through
+:meth:`~repro.nn.engine.IncrementalForwardEngine.run`, whose
+threshold-signature LRU replays cached layer prefixes — the mechanism
+the sharded tier partitions across processes.  :func:`direct_response`
+is the reference implementation — one
+:func:`~repro.nn.inference.run_forward` per request with no batching, no
+engine, no service — against which the differential tests assert
+byte-identical responses.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from repro.experiments.config import PaperConfig
 from repro.experiments.context import ExperimentContext
 from repro.hw.config import PAPER_CONFIG, ArchConfig
 from repro.nn.datasets import natural_image
+from repro.nn.engine import slice_result
 from repro.nn.inference import run_forward
 from repro.nn.network import Network
 from repro.serve.requests import ServeRequest, ServeResponse
@@ -64,6 +71,10 @@ class ModelRepository:
         )
         self.arch = arch
         self._baseline_cycles: dict[str, int] = {}
+        # (network, thresholds_key, image_index) -> timing payload.  A
+        # probe request's conv inputs are a pure function of that key, so
+        # the cycle-accurate simulators need run only once per config.
+        self._probe_timing: dict[tuple, dict] = {}
 
     @property
     def networks(self) -> list[str]:
@@ -78,6 +89,28 @@ class ModelRepository:
 
     def image(self, name: str, seed: int) -> np.ndarray:
         return request_image(self.entry(name).network, seed)
+
+    def probe_count(self, name: str) -> int:
+        """How many resident probe images ``image_index`` may address."""
+        return len(self.entry(name).images)
+
+    def probe_timing_payload(
+        self,
+        name: str,
+        thresholds_key: tuple,
+        image_index: int,
+        conv_inputs: dict,
+    ) -> dict:
+        """Timing payload for a probe request, memoized per config.
+
+        The simulators are deterministic over conv inputs, and a probe's
+        conv inputs are fixed by (network, thresholds, image index) — so
+        repeats return the identical ints/floats without re-simulating.
+        """
+        key = (name, thresholds_key, image_index)
+        if key not in self._probe_timing:
+            self._probe_timing[key] = _timing_payload(self, name, conv_inputs)
+        return dict(self._probe_timing[key])
 
     def baseline_cycles(self, name: str, conv_inputs: dict) -> int:
         """Baseline total cycles — value-independent, so memoized per network."""
@@ -135,16 +168,33 @@ def _needs_conv_inputs(requests: list[ServeRequest]) -> bool:
     return any(req.kind in ("zero_fraction", "timing") for req in requests)
 
 
+def _probe_payload(
+    repo: ModelRepository,
+    request: ServeRequest,
+    thresholds_key: tuple,
+    sliced,
+) -> dict:
+    if request.kind == "timing":
+        return repo.probe_timing_payload(
+            request.network, thresholds_key, request.image_index,
+            sliced.conv_inputs,
+        )
+    return _payload(repo, request, sliced.logits, sliced.conv_inputs)
+
+
 def execute_batch(
     repo: ModelRepository, requests: list[ServeRequest]
 ) -> list[ServeResponse]:
     """Serve a coalesced batch with one shared forward pass.
 
     Every request must agree on (network, thresholds) — the micro-batcher
-    groups by exactly that key.  The stacked inputs go through the
-    engine's batch-admission hook; payloads are then assembled from the
-    per-request slices, bit-identical to running each request alone
-    (the PR-2 batch-axis guarantee, pinned by the differential tests).
+    groups by exactly that key.  Seeded requests stack through the
+    engine's batch-admission hook; probe requests (``image_index``) share
+    one :meth:`~repro.nn.engine.IncrementalForwardEngine.run` over the
+    resident stack, replaying cached layer prefixes when the threshold
+    signature has been seen before.  Both paths are bit-identical to
+    running each request alone (the PR-2 batch-axis guarantee, pinned by
+    the differential tests).
     """
     if not requests:
         return []
@@ -154,38 +204,65 @@ def execute_batch(
         if req.network != name or req.thresholds_key() != thresholds_key:
             raise ValueError("batch mixes incompatible (network, thresholds)")
     thresholds = dict(thresholds_key) or None
-    stack = np.stack([repo.image(name, req.image_seed) for req in requests])
-    result = repo.engine(name).run_stack(
-        stack,
-        thresholds=thresholds,
-        collect_conv_inputs=_needs_conv_inputs(requests),
-    )
-    responses = []
-    for index, req in enumerate(requests):
-        logits = None if result.logits is None else result.logits[index]
-        conv_inputs = {
-            layer: arr[index] for layer, arr in result.conv_inputs.items()
-        }
-        responses.append(
-            ServeResponse(
-                id=req.id,
-                status="ok",
-                kind=req.kind,
-                network=req.network,
+    seeded = [
+        (pos, req) for pos, req in enumerate(requests) if req.image_index is None
+    ]
+    probes = [
+        (pos, req) for pos, req in enumerate(requests) if req.image_index is not None
+    ]
+    responses: dict[int, ServeResponse] = {}
+
+    if seeded:
+        stack = np.stack([repo.image(name, req.image_seed) for _, req in seeded])
+        result = repo.engine(name).run_stack(
+            stack,
+            thresholds=thresholds,
+            collect_conv_inputs=_needs_conv_inputs([req for _, req in seeded]),
+        )
+        for index, (pos, req) in enumerate(seeded):
+            logits = None if result.logits is None else result.logits[index]
+            conv_inputs = {
+                layer: arr[index] for layer, arr in result.conv_inputs.items()
+            }
+            responses[pos] = ServeResponse(
+                id=req.id, status="ok", kind=req.kind, network=req.network,
                 payload=_payload(repo, req, logits, conv_inputs),
             )
+
+    if probes:
+        result = repo.engine(name).run(
+            thresholds=thresholds,
+            collect_conv_inputs=_needs_conv_inputs([req for _, req in probes]),
+            keep_outputs=False,
         )
-    return responses
+        for pos, req in probes:
+            sliced = slice_result(result, req.image_index)
+            responses[pos] = ServeResponse(
+                id=req.id, status="ok", kind=req.kind, network=req.network,
+                payload=_probe_payload(repo, req, thresholds_key, sliced),
+            )
+
+    return [responses[pos] for pos in range(len(requests))]
 
 
 def direct_response(repo: ModelRepository, request: ServeRequest) -> ServeResponse:
-    """Reference path: one unbatched ``run_forward`` per request."""
+    """Reference path: one unbatched ``run_forward`` per request.
+
+    Probe requests forward the named resident image directly — no
+    engine, no cache, no memoized timing — so the differential tests
+    compare the full sharded/batched/cached pipeline against the
+    simplest possible computation of the same answer.
+    """
     entry = repo.entry(request.network)
     thresholds = dict(request.thresholds_key()) or None
+    if request.image_index is not None:
+        image = entry.images[request.image_index]
+    else:
+        image = repo.image(request.network, request.image_seed)
     result = run_forward(
         entry.network,
         entry.store,
-        repo.image(request.network, request.image_seed),
+        image,
         thresholds=thresholds,
         collect_conv_inputs=_needs_conv_inputs([request]),
         keep_outputs=False,

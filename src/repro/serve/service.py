@@ -23,6 +23,16 @@ clock, batches cut at exactly every ``max_batch``-th arrival, tail
 flushed only by :meth:`InferenceService.drain` — so tests can assert
 byte-identical outputs run after run.
 
+All latency arithmetic (enqueue stamps, deadlines, reported
+``latency_ms``) uses ``time.perf_counter()`` — the *same* clock the
+:mod:`repro.obs` spans anchor to their wall epoch — never the event
+loop's ``loop.time()``.  One epoch means a request's reported latency
+and its trace spans agree, and the load generator's percentiles are
+computed on the same axis the service measured (mixing epochs skewed
+p99 under overload).  ``loop.time()`` survives only inside the
+micro-batcher's linger scheduling, where only differences of the same
+clock are ever taken.
+
 Every stage reports to :mod:`repro.obs`: ``serve.requests`` /
 ``serve.shed`` / ``serve.timeouts`` / ``serve.errors`` /
 ``serve.completed`` / ``serve.batches`` / ``serve.retries`` counters,
@@ -34,6 +44,7 @@ batch — all rendered by ``repro-obs report``.
 from __future__ import annotations
 
 import asyncio
+import time
 import traceback
 from dataclasses import dataclass, field
 
@@ -160,6 +171,17 @@ class InferenceService:
             task.cancel()
         await asyncio.gather(*state.tasks, return_exceptions=True)
 
+    async def flush(self) -> None:
+        """Cut every lingering partial batch without awaiting completion.
+
+        Deterministic mode has no linger clock, so a caller that cannot
+        arrange a final :meth:`drain` (a shard worker serving a remote
+        router) flushes explicitly after enqueueing — the sharded tier's
+        replacement for drain-driven batch cuts.
+        """
+        state = self._require_state()
+        await state.queue.put(_FLUSH)
+
     async def drain(self) -> None:
         """Flush partial batches and wait for every accepted request."""
         state = self._require_state()
@@ -187,16 +209,22 @@ class InferenceService:
         """
         state = self._require_state()
         obs.counter_add("serve.requests")
+        error = None
         if request.network not in self.repo.networks:
-            future: asyncio.Future = asyncio.get_running_loop().create_future()
-            future.set_result(
-                self._finished(
-                    request, "error",
-                    {"error": f"unknown network {request.network!r}"},
-                )
+            error = f"unknown network {request.network!r}"
+        elif request.image_index is not None and request.image_index >= (
+            self.repo.probe_count(request.network)
+        ):
+            error = (
+                f"image_index {request.image_index} out of range "
+                f"(network {request.network} holds "
+                f"{self.repo.probe_count(request.network)} probe images)"
             )
+        if error is not None:
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            future.set_result(self._finished(request, "error", {"error": error}))
             return future
-        now = asyncio.get_running_loop().time()
+        now = time.perf_counter()
         entry = PendingRequest(
             request=request,
             future=asyncio.get_running_loop().create_future(),
@@ -281,15 +309,13 @@ class InferenceService:
 
     def _resolve(self, entry: PendingRequest, response: ServeResponse) -> None:
         if not entry.future.done():
-            loop = asyncio.get_running_loop()
-            latency_ms = (loop.time() - entry.enqueued_at) * 1e3
+            latency_ms = (time.perf_counter() - entry.enqueued_at) * 1e3
             response.latency_ms = round(latency_ms, 3)
             obs.observe("serve.latency_ms", latency_ms)
             entry.future.set_result(response)
 
     async def _execute(self, batch: Batch) -> None:
-        loop = asyncio.get_running_loop()
-        now = loop.time()
+        now = time.perf_counter()
         live: list[PendingRequest] = []
         for entry in batch.entries:
             if entry.deadline_at is not None and now >= entry.deadline_at:

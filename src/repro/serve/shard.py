@@ -1,0 +1,195 @@
+"""Shard worker process: one engine-owning service behind a unix socket.
+
+A *shard* is a full :class:`~repro.serve.service.InferenceService` —
+micro-batcher, bounded queues, worker pool, retry policy — running in
+its own process and speaking a JSON-lines envelope protocol over a unix
+domain socket to the router (:mod:`repro.serve.router`).  Because the
+router consistent-hashes on ``(network, thresholds)``, each shard sees a
+stable slice of the key space and its per-process
+:class:`~repro.nn.engine.IncrementalForwardEngine` LRU caches hold that
+slice hot — N shards give the serving tier N× the aggregate prefix-cache
+capacity without multiplying the per-process
+``CNVLUTIN_ENGINE_CACHE_MB`` budget.
+
+Weights are **not** copied per shard: the spec carries the router's
+shared-memory arena manifest, and the shard attaches read-only zero-copy
+views (:func:`repro.nn.engine.attach_shared_weights`) before building
+its :class:`~repro.experiments.context.ExperimentContext` with preset
+stores — no per-shard ``init_weights``, no per-shard calibration.
+
+Wire protocol (one JSON object per line, each direction)::
+
+    → {"rid": 7, "req": {...ServeRequest payload...}}
+    ← {"rid": 7, "resp": {...ServeResponse payload, "shard": i...}}
+    ← {"rid": 7, "fail": "reason"}          transport-level failure:
+                                            the router treats it like a
+                                            dead connection and fails
+                                            over to a replica
+    → {"rid": 8, "op": "ping"}              ← {"rid": 8, "ok": true, ...}
+    → {"rid": 9, "op": "obs"}               ← {"rid": 9, "metrics": ...,
+                                               "events": [...]}
+    → {"rid": 10, "op": "shutdown"}         ← {"rid": 10, "ok": true}
+
+Fault sites: every request envelope passes through
+``injector.fire("shard:serve", trial=None)`` — the *global* trial
+counter (shared across shards via ``CNVLUTIN_FAULT_STATE``), so
+``shard:serve=crash@5`` kills whichever shard handles the 6th sharded
+request, mid-run, exactly like an OOM-killed worker.  ``raise`` rules
+answer a ``fail`` envelope instead, driving the router's failover path
+without losing the process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import obs
+from repro.experiments.context import ExperimentContext
+from repro.nn.engine import attach_shared_weights
+from repro.reliability import FaultInjector, InjectedFault
+from repro.reliability.faults import FAULTS_ENV, SEED_ENV, STATE_ENV
+from repro.serve.models import ModelRepository
+from repro.serve.requests import ServeRequest
+from repro.serve.service import InferenceService, ServeConfig
+
+__all__ = ["ShardSpec", "run_shard"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a shard process needs to build itself.
+
+    Picklable (fork *and* spawn start methods build from the same spec)
+    and JSON-safe except ``cache_dir`` — env-var knobs travel explicitly
+    so spawn children behave identically to forked ones.
+    """
+
+    index: int
+    socket_path: str
+    config: ServeConfig
+    manifest: dict = field(default_factory=dict)
+    cache_dir: str | None = None
+    engine_cache_mb: float | None = None
+    trace: bool = False
+    faults: str | None = None
+    fault_state: str | None = None
+    fault_seed: int = 0
+
+
+def run_shard(spec: ShardSpec) -> None:
+    """Process entry point: apply the spec's environment, then serve."""
+    if spec.engine_cache_mb is not None:
+        os.environ["CNVLUTIN_ENGINE_CACHE_MB"] = str(spec.engine_cache_mb)
+    if spec.faults:
+        os.environ[FAULTS_ENV] = spec.faults
+        os.environ[SEED_ENV] = str(spec.fault_seed)
+        if spec.fault_state:
+            os.environ[STATE_ENV] = spec.fault_state
+    if spec.trace:
+        os.environ["CNVLUTIN_TRACE"] = "1"
+        obs.enable_tracing()
+    asyncio.run(_shard_main(spec))
+
+
+def _build_service(spec: ShardSpec) -> InferenceService:
+    stores = (
+        attach_shared_weights(spec.manifest) if spec.manifest.get("networks")
+        else None
+    )
+    cache_dir = Path(spec.cache_dir) if spec.cache_dir else None
+    context = ExperimentContext(
+        spec.config.paper_config(cache_dir), stores=stores
+    )
+    repo = ModelRepository(context=context)
+    return InferenceService(config=spec.config, repo=repo)
+
+
+async def _shard_main(spec: ShardSpec) -> None:
+    service = _build_service(spec)
+    injector = FaultInjector.from_env()
+    await service.start()
+    stopping = asyncio.Event()
+    obs.counter_add("shard.started")
+    obs.gauge_set("shard.index", spec.index)
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+
+        async def reply(payload: dict) -> None:
+            line = json.dumps(payload, sort_keys=True).encode() + b"\n"
+            async with write_lock:
+                writer.write(line)
+                await writer.drain()
+
+        async def serve_one(rid, envelope: dict) -> None:
+            try:
+                injector.fire("shard:serve", trial=None)
+                request = ServeRequest.from_payload(envelope["req"])
+            except InjectedFault as exc:
+                obs.counter_add("shard.injected_failures")
+                await reply({"rid": rid, "fail": str(exc)})
+                return
+            except (KeyError, TypeError, ValueError) as exc:
+                await reply({"rid": rid, "fail": f"bad request: {exc}"})
+                return
+            obs.counter_add("shard.requests")
+            outcome = service.try_submit(request)
+            if isinstance(outcome, asyncio.Future):
+                if spec.config.deterministic:
+                    # No linger clock in deterministic mode and no
+                    # router-driven drain: flush so the enqueued request
+                    # (plus anything pipelined before it) executes now.
+                    await service.flush()
+                response = await outcome
+            else:
+                response = outcome
+            response.shard = spec.index
+            await reply({"rid": rid, "resp": response.to_payload()})
+
+        async def control(rid, op: str) -> None:
+            if op == "ping":
+                await reply({"rid": rid, "ok": True, "pid": os.getpid(),
+                             "shard": spec.index})
+            elif op == "obs":
+                await reply({
+                    "rid": rid,
+                    "metrics": obs.take_snapshot(),
+                    "events": obs.drain_events(),
+                })
+            elif op == "shutdown":
+                await reply({"rid": rid, "ok": True})
+                stopping.set()
+            else:
+                await reply({"rid": rid, "fail": f"unknown op {op!r}"})
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    envelope = json.loads(line)
+                    rid = envelope["rid"]
+                except (ValueError, KeyError, TypeError):
+                    continue  # router never sends malformed lines; drop
+                if "op" in envelope:
+                    await control(rid, envelope["op"])
+                else:
+                    task = asyncio.create_task(serve_one(rid, envelope))
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+        except asyncio.CancelledError:  # server teardown mid-read
+            pass
+        for task in tasks:
+            task.cancel()
+        writer.close()
+
+    server = await asyncio.start_unix_server(handle, path=spec.socket_path)
+    async with server:
+        await stopping.wait()
+    await service.stop()

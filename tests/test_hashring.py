@@ -1,0 +1,137 @@
+"""Property tests for the consistent-hash ring (repro.serve.hashring).
+
+The two properties the sharded tier leans on:
+
+* **Balance**: with the default 64 vnodes, no shard owns more than 2×
+  its fair share of a large key population (the ISSUE's ≤2×-of-uniform
+  criterion).
+* **Stability**: removing a node remaps *only* that node's keys — every
+  surviving shard keeps exactly the keys it had, which is what keeps
+  their engine caches hot through a shard death.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.hashring import HashRing, request_key
+
+
+def keys(count: int, salt: str = "") -> list[str]:
+    return [f"key{salt}:{index}" for index in range(count)]
+
+
+class TestRequestKey:
+    def test_network_only(self):
+        assert request_key("alex") == "alex"
+        assert request_key("alex", ()) == "alex"
+
+    def test_thresholds_render_repr_exact(self):
+        key = request_key("cnnS", (("conv2", 0.02), ("conv3", 0.1)))
+        assert key == "cnnS|conv2=0.02|conv3=0.1"
+
+    def test_distinct_configs_distinct_keys(self):
+        a = request_key("alex", (("conv2", 0.02),))
+        b = request_key("alex", (("conv2", 0.04),))
+        c = request_key("cnnS", (("conv2", 0.02),))
+        assert len({a, b, c, request_key("alex")}) == 4
+
+
+class TestBalance:
+    @given(nodes=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=7, deadline=None)
+    def test_within_two_of_uniform(self, nodes):
+        ring = HashRing(range(nodes))
+        counts = {node: 0 for node in range(nodes)}
+        population = keys(2000)
+        for key in population:
+            counts[ring.owner(key)] += 1
+        fair = len(population) / nodes
+        assert max(counts.values()) <= 2 * fair
+        assert min(counts.values()) > 0
+
+    def test_real_request_keys_spread(self):
+        ring = HashRing(range(4))
+        real = [
+            request_key(network, (("conv2", 0.02 * step),))
+            for network in ("alex", "cnnS", "nin", "goog")
+            for step in range(1, 13)
+        ]
+        counts = {node: 0 for node in range(4)}
+        for key in real:
+            counts[ring.owner(key)] += 1
+        assert max(counts.values()) <= 2 * len(real) / 4
+        assert all(count > 0 for count in counts.values())
+
+
+class TestStability:
+    @given(dead=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=5, deadline=None)
+    def test_removal_remaps_only_dead_nodes_keys(self, dead):
+        ring = HashRing(range(5))
+        population = keys(800)
+        before = ring.assignments(population)
+        ring.remove(dead)
+        after = ring.assignments(population)
+        for key in population:
+            if before[key] != dead:
+                assert after[key] == before[key]
+            else:
+                assert after[key] != dead
+
+    def test_add_back_restores_assignments(self):
+        ring = HashRing(range(4))
+        population = keys(500)
+        before = ring.assignments(population)
+        ring.remove(2)
+        ring.add(2)
+        assert ring.assignments(population) == before
+
+    def test_cross_process_determinism(self):
+        # SHA-256 points: two independently built rings agree (the
+        # router, a respawned shard, and the tests share ownership).
+        a = HashRing([0, 1, 2])
+        b = HashRing([2, 1, 0])
+        for key in keys(200):
+            assert a.owner(key) == b.owner(key)
+
+
+class TestPreference:
+    def test_owner_first_distinct_full(self):
+        ring = HashRing(range(4))
+        for key in keys(50):
+            preference = ring.preference(key)
+            assert preference[0] == ring.owner(key)
+            assert len(preference) == 4
+            assert len(set(preference)) == 4
+
+    def test_limit(self):
+        ring = HashRing(range(6))
+        assert len(ring.preference("k", limit=2)) == 2
+        assert len(ring.preference("k", limit=99)) == 6
+
+    def test_successor_takes_over_after_removal(self):
+        ring = HashRing(range(3))
+        key = "some-key"
+        first, second = ring.preference(key, limit=2)
+        ring.remove(first)
+        assert ring.owner(key) == second
+
+    def test_empty_ring(self):
+        ring = HashRing()
+        assert ring.preference("k") == []
+        try:
+            ring.owner("k")
+        except LookupError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("owner() on an empty ring must raise")
+
+    def test_membership_len(self):
+        ring = HashRing([3, 1])
+        assert len(ring) == 2 and 3 in ring and 0 not in ring
+        ring.remove(3)
+        assert len(ring) == 1 and 3 not in ring
+        ring.remove(3)  # idempotent
+        assert ring.nodes() == [1]

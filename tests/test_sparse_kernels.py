@@ -197,9 +197,19 @@ class TestAutoCutoffBoundary:
             assert zskip.resolve_mode() == "auto"
         import os
 
-        os.environ[zskip.CUTOFF_ENV] = "not-a-number"
+        # Non-numeric, out-of-range, and non-finite values all warn and
+        # fall back (the CNVLUTIN_ENGINE_CACHE_MB validation pattern) —
+        # a bad environment variable never makes a forward pass raise.
+        for bad in ("not-a-number", "2.5", "-0.1", "nan", "inf"):
+            os.environ[zskip.CUTOFF_ENV] = bad
+            try:
+                with pytest.warns(RuntimeWarning, match=zskip.CUTOFF_ENV):
+                    assert zskip.resolve_cutoff() == zskip.DEFAULT_CUTOFF
+            finally:
+                del os.environ[zskip.CUTOFF_ENV]
+        os.environ[zskip.CUTOFF_ENV] = "0.3"
         try:
-            assert zskip.resolve_cutoff() == zskip.DEFAULT_CUTOFF
+            assert zskip.resolve_cutoff() == 0.3
         finally:
             del os.environ[zskip.CUTOFF_ENV]
         with pytest.raises(ValueError):
