@@ -53,6 +53,7 @@ __all__ = [
     "threshold_scopes",
     "slice_result",
     "attach_shared_weights",
+    "attached_arenas",
 ]
 
 #: Default LRU cache budget in MiB; override with CNVLUTIN_ENGINE_CACHE_MB.
@@ -115,6 +116,16 @@ def attach_shared_weights(manifest: dict) -> dict[str, WeightStore]:
 #: Arenas attached by this process (held so finalizers never fire while
 #: zero-copy weight views are live).
 _ATTACHED_ARENAS: list = []
+
+
+def attached_arenas() -> list:
+    """The arenas this process has attached (most recent last).
+
+    The shard loop needs the arena *handle*, not just its stores, to run
+    the between-batch CRC recheck (:meth:`repro.nn.shm.SharedWeightArena.
+    verify`) against the live block.
+    """
+    return list(_ATTACHED_ARENAS)
 
 
 def _is_prunable(layer: LayerSpec) -> bool:

@@ -24,7 +24,12 @@ kernels of :mod:`repro.nn.sparse`: the all-zero (ineffectual) slices of
 the patch matrix are split off so the ``CNVLUTIN_SPARSE`` mode can skip
 them for real wall-clock gains.  Dense and sparse modes are
 byte-identical by construction — see that module's docstring for the
-bit-identity argument.
+bit-identity argument.  Those kernels also carry the ABFT column
+checksums of :mod:`repro.reliability.integrity`: under
+``CNVLUTIN_INTEGRITY`` every (sampled) GEMM/matvec verifies a
+Huang-Abraham sum invariant *before* the bias add, read-only, so a
+silently corrupted product raises instead of flowing into downstream
+layers or the engine cache.
 
 These implementations are the *golden model*: both the DaDianNao baseline
 simulator and the Cnvlutin simulator validate their outputs against them

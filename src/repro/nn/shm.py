@@ -20,6 +20,19 @@ An attached view therefore computes bit-identically to the private store
 it was published from — the sharded differential tests assert exactly
 that, end to end through the serving tier.
 
+Integrity (CRC32 guard)
+-----------------------
+The manifest carries a publish-time CRC32 per packed array.
+:meth:`attach` verifies every segment before handing out views (a shard
+never starts on a corrupt arena), and :meth:`SharedWeightArena.verify`
+re-checks the live block on demand — the shard loop calls it between
+batches on the ``CNVLUTIN_INTEGRITY_RECHECK_S`` deadline, and the router
+calls it before deciding whether a quarantine needs a republish.  The
+CRC is the *primary* defense against weight bit flips: call-time ABFT
+checksums (:mod:`repro.reliability.integrity`) cannot see corruption
+that precedes both sides of their invariant, but a flipped bit in the
+shared pages can never match the publish-time checksum.
+
 Ownership / cleanup protocol (documented in DESIGN.md)
 ------------------------------------------------------
 * The **owner** creates the block, publishes, and is the only process
@@ -32,27 +45,77 @@ Ownership / cleanup protocol (documented in DESIGN.md)
   ``track=False`` parameter).
 * ``close()`` is best-effort on both sides: live numpy views export the
   buffer, and tearing them down is the process-exit path anyway.
+* Blocks are named ``cnvlutin-<owner pid>-<token>`` and every owner
+  arena is registered for ``atexit`` unlink, so a router that exits
+  without reaching ``stop()`` still cleans up.  A router killed with
+  ``SIGKILL`` cannot: :func:`sweep_stale_arenas` scans ``/dev/shm`` for
+  ``cnvlutin-*`` blocks whose owner pid is gone and unlinks them — the
+  sharded tier runs the sweep at every start.
 """
 
 from __future__ import annotations
 
+import atexit
+import os
+import secrets
+import weakref
+import zlib
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
 
 import numpy as np
 
 from repro.nn.inference import WeightStore
+from repro.reliability.integrity import IntegrityError
 
-__all__ = ["SharedWeightArena", "process_pss_kb"]
+__all__ = [
+    "SharedWeightArena",
+    "sweep_stale_arenas",
+    "process_pss_kb",
+    "ARENA_PREFIX",
+]
 
 #: Arena offsets are rounded up to this; numpy allocates 64-byte-aligned
 #: buffers, and keeping the same alignment keeps BLAS code paths (and
 #: therefore bits) identical between private and shared stores.
 ALIGNMENT = 64
 
+#: Shared blocks are named ``<prefix><owner pid>-<token>`` so the stale
+#: sweeper can tell whose arena a leftover ``/dev/shm`` entry belongs to.
+ARENA_PREFIX = "cnvlutin-"
+
 
 def _aligned(offset: int) -> int:
     return (offset + ALIGNMENT - 1) & ~(ALIGNMENT - 1)
+
+
+def _new_block(size: int) -> shared_memory.SharedMemory:
+    """A fresh shared block under the pid-stamped naming scheme."""
+    while True:
+        name = f"{ARENA_PREFIX}{os.getpid()}-{secrets.token_hex(4)}"
+        try:
+            return shared_memory.SharedMemory(
+                name=name, create=True, size=size
+            )
+        except FileExistsError:  # pragma: no cover - 32-bit token collision
+            continue
+
+
+#: Owner arenas still alive at interpreter exit get their name unlinked
+#: (idempotent with an explicit ``unlink()`` — FileNotFoundError is
+#: swallowed there).  A WeakSet so an arena the owner already dropped
+#: does not have its lifetime extended to process exit.
+_OWNED_ARENAS: "weakref.WeakSet[SharedWeightArena]" = weakref.WeakSet()
+
+
+@atexit.register
+def _unlink_owned_arenas() -> None:  # pragma: no cover - exit path
+    for arena in list(_OWNED_ARENAS):
+        try:
+            arena.unlink()
+        except Exception:
+            pass
 
 
 def _shift_to_json(value):
@@ -63,7 +126,7 @@ def _shift_from_json(value):
     return np.asarray(value) if isinstance(value, list) else float(value)
 
 
-@dataclass
+@dataclass(eq=False)  # identity hash: arenas live in a WeakSet for atexit
 class SharedWeightArena:
     """One shared block holding every published array, plus its manifest."""
 
@@ -94,7 +157,7 @@ class SharedWeightArena:
                     offset = _aligned(offset)
                     plan.append((network, section, layer, arr, offset))
                     offset += arr.nbytes
-        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        shm = _new_block(max(offset, 1))
         networks: dict[str, dict] = {}
         for network, section, layer, arr, start in plan:
             view = np.ndarray(
@@ -108,6 +171,10 @@ class SharedWeightArena:
                 "offset": start,
                 "shape": list(arr.shape),
                 "dtype": arr.dtype.str,
+                # Publish-time checksum of the packed bytes: the arena's
+                # ground truth, against which attach() and verify() (and
+                # through them the shard recheck loop) compare.
+                "crc32": zlib.crc32(shm.buf[start : start + arr.nbytes]),
             }
         for network, store in stores.items():
             entry = networks.setdefault(
@@ -118,14 +185,22 @@ class SharedWeightArena:
                 for layer, value in store.shifts.items()
             }
         manifest = {"shm": shm.name, "bytes": offset, "networks": networks}
-        return cls(shm=shm, manifest=manifest, stores=dict(stores), owner=True)
+        arena = cls(shm=shm, manifest=manifest, stores=dict(stores), owner=True)
+        _OWNED_ARENAS.add(arena)
+        return arena
 
     # ------------------------------------------------------------------
     # attach (shard side)
     # ------------------------------------------------------------------
     @classmethod
-    def attach(cls, manifest: dict) -> "SharedWeightArena":
-        """Open the published block and rebuild read-only view stores."""
+    def attach(cls, manifest: dict, verify: bool = True) -> "SharedWeightArena":
+        """Open the published block and rebuild read-only view stores.
+
+        With ``verify`` (the default) every segment's CRC32 is checked
+        against the publish-time manifest before any view is handed out;
+        a mismatch raises :class:`IntegrityError` so a shard can never
+        start serving from a corrupt arena.
+        """
         # CPython 3.11 registers *attachments* with the resource tracker,
         # which would unlink the owner's block when the first attaching
         # process exits (and duplicate unregisters from sibling shards
@@ -161,7 +236,60 @@ class SharedWeightArena:
                     for layer, value in entry["shifts"].items()
                 },
             )
-        return cls(shm=shm, manifest=manifest, stores=stores, owner=False)
+        arena = cls(shm=shm, manifest=manifest, stores=stores, owner=False)
+        if verify:
+            corrupt = arena.verify()
+            if corrupt:
+                arena.close()
+                raise IntegrityError(
+                    f"arena {manifest['shm']} failed CRC32 verification on "
+                    f"attach: {corrupt[:3]}"
+                    + (f" (+{len(corrupt) - 3} more)" if len(corrupt) > 3 else "")
+                )
+        return arena
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    def _segments(self):
+        """``(path, offset, nbytes, crc32)`` per packed array, in manifest
+        order.  Entries published before the CRC guard carry no checksum
+        and are skipped (``crc32`` is ``None``)."""
+        for network in sorted(self.manifest.get("networks", {})):
+            entry = self.manifest["networks"][network]
+            for section in ("weights", "biases"):
+                for layer in sorted(entry[section]):
+                    meta = entry[section][layer]
+                    nbytes = int(
+                        np.dtype(meta["dtype"]).itemsize
+                        * int(np.prod(meta["shape"], dtype=np.int64))
+                    )
+                    yield (
+                        f"{network}/{section}/{layer}",
+                        int(meta["offset"]),
+                        nbytes,
+                        meta.get("crc32"),
+                    )
+
+    def verify(self) -> list[str]:
+        """Re-checksum every segment of the live block.
+
+        Returns the paths (``network/section/layer``) whose bytes no
+        longer match their publish-time CRC32 — empty means clean.  One
+        ``integrity.checks.crc`` counter per sweep; the *caller* decides
+        what a non-empty result means (shard: escalate to the router;
+        router: republish before respawning).
+        """
+        from repro import obs
+
+        obs.counter_add("integrity.checks.crc")
+        corrupt = []
+        for path, offset, nbytes, crc in self._segments():
+            if crc is None:
+                continue
+            if zlib.crc32(self.shm.buf[offset : offset + nbytes]) != crc:
+                corrupt.append(path)
+        return corrupt
 
     # ------------------------------------------------------------------
     # cleanup
@@ -182,6 +310,51 @@ class SharedWeightArena:
             self.shm.unlink()
         except FileNotFoundError:  # pragma: no cover - double stop
             pass
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    return True
+
+
+def sweep_stale_arenas(shm_dir: str = "/dev/shm") -> list[str]:
+    """Unlink ``cnvlutin-*`` blocks whose owner pid no longer exists.
+
+    The atexit hook covers every orderly exit, but a router killed with
+    ``SIGKILL`` (or an OOM kill) leaks its block until reboot — shared
+    memory has no owner-died reclamation.  Block names embed the owner
+    pid precisely so this sweep can tell a dead owner's leftovers from a
+    concurrently running tier's live arena.  Returns the names removed;
+    Linux-only (no ``/dev/shm`` elsewhere), silently a no-op otherwise.
+    """
+    from repro import obs
+
+    removed = []
+    root = Path(shm_dir)
+    if not root.is_dir():
+        return removed
+    for path in sorted(root.glob(f"{ARENA_PREFIX}*")):
+        rest = path.name[len(ARENA_PREFIX):]
+        pid_text, _, token = rest.partition("-")
+        if not pid_text.isdigit() or not token:
+            continue  # not ours: some other cnvlutin-* artifact
+        pid = int(pid_text)
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            path.unlink()
+        except FileNotFoundError:  # pragma: no cover - concurrent sweep
+            continue
+        except OSError:  # pragma: no cover - permission race
+            continue
+        removed.append(path.name)
+        obs.counter_add("integrity.arena.swept")
+    return removed
 
 
 def process_pss_kb(pid: int) -> int | None:

@@ -49,6 +49,20 @@ grammar, see :mod:`repro.reliability.faults`).  An injected fault makes
 the kernel fall back to the dense canonical path — byte-identical output,
 one ``engine.sparse.fallbacks`` counter — so chaos runs complete with
 correct results while the injection remains visible in the manifest.
+
+Integrity (ABFT) verification
+-----------------------------
+Every kernel return path runs through an epilogue that (1) fires the
+``mem:activations`` fault site — a ``corrupt`` rule perturbs one element
+of the freshly computed product in place, modelling a bad store of a
+layer output — and then (2) verifies the Huang-Abraham column-checksum
+invariant under the ``CNVLUTIN_INTEGRITY`` policy (see
+:mod:`repro.reliability.integrity`).  Verification is read-only, so a
+verified run stays byte-identical to an unverified one; a violation
+raises :class:`~repro.reliability.integrity.IntegrityError`, which the
+serving retry policy treats like any transient failure — a recompute on
+clean data heals it bit-exactly, a persistent failure escalates to the
+shard quarantine path.
 """
 
 from __future__ import annotations
@@ -61,6 +75,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
+from repro.reliability import integrity
 from repro.reliability.faults import FaultInjector, InjectedFault
 
 __all__ = [
@@ -68,6 +83,7 @@ __all__ = [
     "MODE_ENV",
     "CUTOFF_ENV",
     "DEFAULT_CUTOFF",
+    "MEM_ACTIVATIONS_SITE",
     "GemmRecord",
     "resolve_mode",
     "resolve_cutoff",
@@ -254,6 +270,10 @@ _injector: FaultInjector | None = None
 #: The fault site the sparse GEMM path fires (``CNVLUTIN_FAULTS`` rules).
 FAULT_SITE = "sparse:gemm"
 
+#: Fault site modelling a corrupted layer-output store: a ``corrupt``
+#: rule perturbs one element of the product before verification.
+MEM_ACTIVATIONS_SITE = "mem:activations"
+
 
 def _current_injector() -> FaultInjector:
     """A process-wide injector rebuilt whenever ``CNVLUTIN_FAULTS`` changes.
@@ -280,6 +300,51 @@ def _sparse_path_survives_faults() -> bool:
     except InjectedFault:
         return False
     return True
+
+
+def _maybe_corrupt_output(result: np.ndarray) -> None:
+    """Fire ``mem:activations``; a ``corrupt`` action perturbs one element.
+
+    The perturbation is deterministic (middle element, magnitude far
+    above any ABFT tolerance) and happens *before* verification, so an
+    active ``CNVLUTIN_INTEGRITY`` policy must catch it while an ``off``
+    policy lets the corrupted block flow downstream — the difference the
+    chaos suite measures.
+    """
+    injector = _current_injector()
+    if not injector.enabled:
+        return
+    if injector.fire(MEM_ACTIVATIONS_SITE) != "corrupt":
+        return
+    flat = result.reshape(-1)
+    index = flat.size // 2
+    flat[index] += (1.0 + abs(float(flat[index]))) * 1e6
+
+
+def _gemm_epilogue(
+    cols: np.ndarray, wt: np.ndarray, result: np.ndarray, kind: str
+) -> np.ndarray:
+    """Shared exit of every :func:`partitioned_gemm` path.
+
+    The checksum invariant holds for the *full* GEMM on every path: dead
+    columns contribute exact zeros to both sides and dead rows sum to
+    exact zero, so one verification covers the degenerate, row-live and
+    row-partitioned variants alike.
+    """
+    _maybe_corrupt_output(result)
+    if integrity.should_verify():
+        integrity.verify_gemm(cols, wt, result, kind=kind)
+    return result
+
+
+def _matvec_epilogue(
+    weights: np.ndarray, flat: np.ndarray, result: np.ndarray
+) -> np.ndarray:
+    """Shared exit of every :func:`partitioned_matvec` path."""
+    _maybe_corrupt_output(result)
+    if integrity.should_verify():
+        integrity.verify_matvec(weights, flat, result)
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -330,7 +395,7 @@ def partitioned_gemm(
                 macs_total=macs_total, macs_skipped=0,
             )
         )
-        return cols @ wt
+        return _gemm_epilogue(cols, wt, cols @ wt, kind)
 
     dead_fraction = dead_cols / width
     skip = _choose_skip(mode, dead_fraction, cutoff)
@@ -359,7 +424,7 @@ def partitioned_gemm(
                 macs_total=macs_total, macs_skipped=skipped, fallback=fallback,
             )
         )
-        return result
+        return _gemm_epilogue(cols, wt, result, kind)
 
     # Some windows saw only zeros: partition the rows as well, so the
     # sparse path can skip them while both paths keep issuing the same
@@ -392,7 +457,7 @@ def partitioned_gemm(
             macs_total=macs_total, macs_skipped=skipped, fallback=fallback,
         )
     )
-    return result
+    return _gemm_epilogue(cols, wt, result, kind)
 
 
 def partitioned_matvec(
@@ -422,7 +487,7 @@ def partitioned_matvec(
                 macs_total=macs_total, macs_skipped=0,
             )
         )
-        return weights @ flat
+        return _matvec_epilogue(weights, flat, weights @ flat)
 
     dead_fraction = dead / width
     skip = _choose_skip(mode, dead_fraction, cutoff)
@@ -446,4 +511,4 @@ def partitioned_matvec(
             macs_total=macs_total, macs_skipped=skipped, fallback=fallback,
         )
     )
-    return result
+    return _matvec_epilogue(weights, flat, result)

@@ -24,7 +24,10 @@ metrics snapshot the run serialized (see :mod:`repro.obs.metrics`):
   ``repro-serve`` namespaces;
 * a sharded-serving summary (``router.*`` / ``shard.*``, when present):
   forwarded/shed/failover/death/respawn counts, per-shard forward
-  distribution, and the shared-weight arena size.
+  distribution, and the shared-weight arena size;
+* an integrity summary (``integrity.*``, when present): ABFT / CRC
+  check and detection counts, quarantines by reason, arena republishes,
+  canary probes, injected weight flips, and stale arenas swept.
 
 The experiment runner's ``--metrics`` flag prints the same report for
 the run it just finished.
@@ -236,6 +239,34 @@ def metrics_report(manifest: dict, top: int = 15) -> str:
         )
         if per_shard:
             parts.append("\n".join(per_shard))
+
+    if any(name.startswith("integrity.") for name in counters):
+        detected = [
+            f"{name[len('integrity.detected.'):]}: {value:.0f}"
+            for name, value in sorted(counters.items())
+            if name.startswith("integrity.detected.")
+        ]
+        quarantines = [
+            f"{name[len('integrity.quarantines.'):]}: {value:.0f}"
+            for name, value in sorted(counters.items())
+            if name.startswith("integrity.quarantines.")
+        ]
+        parts.append(
+            "\n-- integrity --\n"
+            f"checks: {counters.get('integrity.checks.abft', 0):.0f} ABFT / "
+            f"{counters.get('integrity.checks.crc', 0):.0f} CRC; "
+            f"detected: {', '.join(detected) if detected else 'none'}\n"
+            f"healing: {counters.get('integrity.quarantines', 0):.0f} "
+            f"quarantine(s)"
+            f"{' (' + ', '.join(quarantines) + ')' if quarantines else ''}, "
+            f"{counters.get('integrity.republishes', 0):.0f} republish(es); "
+            f"canary probes: "
+            f"{counters.get('integrity.canary.probes', 0):.0f}\n"
+            f"injected weight flips: "
+            f"{counters.get('integrity.faults.weight_flips', 0):.0f}; "
+            f"stale arenas swept: "
+            f"{counters.get('integrity.arena.swept', 0):.0f}"
+        )
 
     sparse_gemms = counters.get("engine.sparse.gemms.sparse", 0)
     dense_gemms = counters.get("engine.sparse.gemms.dense", 0)

@@ -14,6 +14,12 @@ Two halves, used together by :mod:`repro.experiments.parallel` and
   spec configured those calls are no-ops, and under a spec they raise,
   crash, delay, or corrupt on chosen trial indices so the chaos test
   suite can prove the pipeline converges anyway.
+
+A third half-sibling, :mod:`repro.reliability.integrity`, defends
+against faults that *don't* crash anything: ABFT checksums over the
+sparse kernels and the ``CNVLUTIN_INTEGRITY`` verification policy, the
+detection side of the serving tier's silent-data-corruption loop
+(detect → quarantine → republish → respawn).
 """
 
 from repro.reliability.faults import (
@@ -23,6 +29,11 @@ from repro.reliability.faults import (
     InjectedFault,
     parse_faults,
 )
+from repro.reliability.integrity import (
+    IntegrityError,
+    resolve_recheck_s,
+)
+from repro.reliability.integrity import resolve_policy as resolve_integrity_policy
 from repro.reliability.policy import RespawnPolicy, RetryPolicy
 
 __all__ = [
@@ -32,5 +43,8 @@ __all__ = [
     "FaultInjector",
     "FaultRule",
     "InjectedFault",
+    "IntegrityError",
     "parse_faults",
+    "resolve_integrity_policy",
+    "resolve_recheck_s",
 ]

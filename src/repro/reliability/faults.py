@@ -12,6 +12,7 @@ Spec grammar (rules separated by ``;``)::
     site            = "unit:" experiment "/" target
                     | "cache:read" | "cache:write" | "pool:worker"
                     | "serve:batch" | "shard:forward" | "shard:serve"
+                    | "mem:weights" | "mem:activations"
     action          = "raise" | "crash" | "corrupt" | "delay:" seconds
     trials          = index ("," index)* | "*"
 
@@ -27,6 +28,13 @@ Examples::
                                    fails, driving failover to a replica
     shard:serve=crash@5            the shard process serving the 6th
                                    sharded request hard-exits mid-run
+    mem:weights=corrupt@3          the 4th sharded request flips one bit
+                                   of the shared weight arena (a
+                                   silent-data-corruption event every
+                                   attached shard then computes on)
+    mem:activations=corrupt@8      the 9th kernel call perturbs one
+                                   element of its output before the
+                                   ABFT checksum comparison sees it
 
 Semantics:
 
@@ -35,9 +43,13 @@ Semantics:
   parent observes a ``BrokenProcessPool``, exactly like a segfaulting or
   OOM-killed worker.
 * ``delay:<seconds>`` sleeps, which is how unit timeouts are exercised.
-* ``corrupt`` is returned to the call site (the artifact cache), which
-  truncates the object file before reading it — driving the real
-  integrity/quarantine path end to end.
+* ``corrupt`` is returned to the call site, which applies the damage
+  itself: the artifact cache truncates the object file before reading
+  it; ``mem:weights`` flips an exponent bit in the shared weight arena
+  (:func:`repro.serve.shard._corrupt_arena`); ``mem:activations``
+  perturbs one element of a kernel's output matrix in place
+  (:mod:`repro.nn.sparse`) — each driving the real detect → quarantine
+  → republish → respawn path end to end.
 * ``@trials`` selects which *hits* of the site misbehave.  For ``unit:``
   sites the trial index is the unit's attempt number (so ``@0`` means
   "fail the first attempt, succeed on retry").  For ``cache:*`` and

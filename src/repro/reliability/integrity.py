@@ -1,0 +1,364 @@
+"""Silent-data-corruption defense: ABFT checksums + integrity policy.
+
+A flipped bit in the shared weight arena or a corrupted activation block
+would be served to every user of a shard, silently — crash-restart
+machinery never notices because nothing *crashes*.  This module supplies
+the detection half of the defense; :mod:`repro.nn.shm` (CRC-guarded
+arena) and :mod:`repro.serve.router` (quarantine → republish → respawn)
+supply the healing half.
+
+ABFT column checksums (Huang & Abraham)
+---------------------------------------
+For the conv GEMM ``product = cols @ wt`` the all-ones right checksum
+gives the invariant::
+
+    product @ 1  ==  cols @ (wt @ 1)
+
+i.e. each output row's sum must equal the patch row dotted with the
+weight matrix's row-sum vector.  The row-sum vector ``wt @ 1`` (and its
+absolute companion, used for the tolerance bound) is computed once per
+weight array and cached by ``id`` with a weakref finalizer — exactly the
+:func:`repro.nn.sparse.transposed_weights` idiom — so the steady-state
+verification cost is one ``(M, K)`` GEMV plus one ``(M, N)`` row sum per
+GEMM: ``O(1/N + 1/K)`` of the GEMM itself.  The FC matvec invariant is
+the transpose: ``sum(weights @ flat) == (1 @ weights) @ flat`` with the
+column-sum vector cached per weight array, which as a side effect
+detects in-place corruption of FC weights (the cached checksum no longer
+matches the live array).
+
+Verification is **read-only**: it compares freshly computed scalars
+against the kernel's result and raises :class:`IntegrityError` on
+mismatch, never touching the product buffer — so a verified run is
+byte-identical to an unverified one, preserving every bit-identity
+contract in the repo.
+
+Tolerance
+---------
+``got`` and ``expected`` accumulate the same products in different
+orders, so they differ by floating-point rounding.  The check bounds
+that honestly per output row::
+
+    |got_i - expected_i| <= SAFETY * eps * sqrt(K + N) * bound_i
+
+where ``bound_i = |cols_i| . |wt @ 1|_abs`` is the magnitude sum of the
+row's checksum terms (robust against cancellation, unlike any bound on
+``|got_i|`` itself) and ``SAFETY`` leaves two orders of magnitude of
+headroom over the ``~sqrt(K) * eps`` error of blocked/pairwise
+accumulation.  A false positive would poison serving (the kernel raises
+and the retry recomputes identically on clean data), so the bound is
+deliberately loose; the price is that perturbations *below* it pass
+undetected, which is the documented meaning of "within dtype tolerance".
+:func:`detectable_weight_delta` / :func:`detectable_patch_delta` export
+the resulting detectability threshold so the property suite can inject
+perturbations provably above it.
+
+Known blind spots, by construction:
+
+* A single ones-checksum projects the error onto one direction: a patch
+  perturbation at column ``k`` scales with ``(wt @ 1)[k]``, so if the
+  weight row-sums cancel to ~0 at ``k`` the perturbation is invisible.
+  (A second, weighted checksum would close this at twice the cost.)
+* Corruption that precedes *both* sides of the invariant — e.g. a weight
+  bit flipped before the GEMM *and* before the checksum GEMV — is
+  self-consistent and passes.  That case is exactly what the CRC32
+  guard on the shared arena manifest exists for (conv weights enter the
+  GEMM through cached transposes, so call-time checksums can never see
+  arena flips; the FC colsum cache does, as a bonus).
+
+Policy (``CNVLUTIN_INTEGRITY``)
+-------------------------------
+``off`` (default), ``always``, or ``sample:p`` with ``p`` in [0, 1].
+Sampling decisions are deterministic (``hash_fraction`` over a
+process-global call counter), so a given process verifies the same
+GEMMs run to run.  Junk values warn and fall back to ``off`` — the same
+never-fail contract as ``CNVLUTIN_SPARSE_CUTOFF`` and
+``CNVLUTIN_ENGINE_CACHE_MB``.  ``CNVLUTIN_INTEGRITY_RECHECK_S`` bounds
+how stale a shard's arena CRC check may be between batches (0 =
+re-verify before every reply; the chaos suite's zero-corrupted-responses
+guarantee runs there).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import os
+import warnings
+import weakref
+
+import numpy as np
+
+from repro import obs
+from repro.reliability.policy import hash_fraction
+
+__all__ = [
+    "IntegrityError",
+    "INTEGRITY_ENV",
+    "RECHECK_ENV",
+    "DEFAULT_RECHECK_S",
+    "SAFETY",
+    "resolve_policy",
+    "resolve_recheck_s",
+    "should_verify",
+    "verify_gemm",
+    "verify_matvec",
+    "gemm_tolerance",
+    "detectable_weight_delta",
+    "detectable_patch_delta",
+]
+
+#: Environment variable selecting the verification policy.
+INTEGRITY_ENV = "CNVLUTIN_INTEGRITY"
+
+#: Environment variable bounding arena CRC staleness between batches.
+RECHECK_ENV = "CNVLUTIN_INTEGRITY_RECHECK_S"
+
+#: Default arena recheck deadline (seconds).  Chaos runs set 0 so every
+#: reply re-verifies; production amortizes the CRC sweep.
+DEFAULT_RECHECK_S = 5.0
+
+#: Headroom multiplier of the rounding-error tolerance (module docstring).
+SAFETY = 256.0
+
+DEFAULT_POLICY = ("off", 0.0)
+
+
+class IntegrityError(RuntimeError):
+    """A checksum invariant failed: the data or the compute is corrupt."""
+
+
+# ----------------------------------------------------------------------
+# policy resolution (the CNVLUTIN_SPARSE_CUTOFF warn+default contract)
+# ----------------------------------------------------------------------
+_policy_memo: dict[str, tuple[str, float]] = {}
+
+
+def _parse_policy(raw: str) -> tuple[str, float] | None:
+    """``(mode, p)`` for a valid spec, ``None`` for junk."""
+    text = raw.strip().lower()
+    if text == "off":
+        return ("off", 0.0)
+    if text == "always":
+        return ("always", 1.0)
+    if text.startswith("sample:"):
+        try:
+            p = float(text[len("sample:"):])
+        except ValueError:
+            return None
+        if not math.isfinite(p) or not 0.0 <= p <= 1.0:
+            return None
+        return ("sample", p)
+    return None
+
+
+def resolve_policy(value: str | None = None) -> tuple[str, float]:
+    """The effective ``(mode, probability)`` verification policy.
+
+    Explicit arguments raise on junk (a caller bug); the environment
+    variable warns and falls back to ``off`` — a typo in the environment
+    must never make a forward pass fail.  Parses are memoized per raw
+    string so the per-GEMM cost is one dict lookup (and the warning
+    fires once per junk value, not once per kernel call).
+    """
+    if value is not None:
+        parsed = _parse_policy(value)
+        if parsed is None:
+            raise ValueError(
+                f"integrity policy must be off|always|sample:p, got {value!r}"
+            )
+        return parsed
+    raw = os.environ.get(INTEGRITY_ENV)
+    if raw is None:
+        return DEFAULT_POLICY
+    cached = _policy_memo.get(raw)
+    if cached is not None:
+        return cached
+    parsed = _parse_policy(raw)
+    if parsed is None:
+        warnings.warn(
+            f"ignoring invalid {INTEGRITY_ENV}={raw!r} "
+            f"(expected off|always|sample:p with p in [0, 1]); "
+            f"integrity checking stays off",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        parsed = DEFAULT_POLICY
+    _policy_memo[raw] = parsed
+    return parsed
+
+
+def resolve_recheck_s() -> float:
+    """The arena recheck deadline from ``CNVLUTIN_INTEGRITY_RECHECK_S``.
+
+    Junk (non-numeric, non-finite, negative) warns and falls back to
+    :data:`DEFAULT_RECHECK_S`, mirroring :func:`resolve_policy`.
+    """
+    raw = os.environ.get(RECHECK_ENV)
+    if raw is None:
+        return DEFAULT_RECHECK_S
+    try:
+        seconds = float(raw)
+    except ValueError:
+        seconds = float("nan")
+    if not math.isfinite(seconds) or seconds < 0.0:
+        warnings.warn(
+            f"ignoring invalid {RECHECK_ENV}={raw!r} "
+            f"(expected seconds >= 0); using the default "
+            f"{DEFAULT_RECHECK_S:g}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return DEFAULT_RECHECK_S
+    return seconds
+
+
+#: Process-global verification-decision counter: with ``sample:p`` the
+#: n-th kernel call in a process always draws the same deterministic
+#: fraction, so runs verify identical call sets.
+_decision_counter = itertools.count()
+
+
+def should_verify(policy: tuple[str, float] | None = None, seed: int = 0) -> bool:
+    """Decide whether this kernel call verifies (deterministic sampling)."""
+    mode, p = policy if policy is not None else resolve_policy()
+    if mode == "off":
+        return False
+    if mode == "always":
+        return True
+    return hash_fraction(seed, "integrity.sample", next(_decision_counter)) < p
+
+
+# ----------------------------------------------------------------------
+# cached checksum vectors (the transposed_weights caching idiom)
+# ----------------------------------------------------------------------
+_checksum_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _checksums(weights: np.ndarray, axis: int) -> tuple[np.ndarray, np.ndarray]:
+    """``(sum, abs-sum)`` of ``weights`` along ``axis``, cached per array.
+
+    Weight arrays are replaced, not mutated (the repo-wide contract the
+    transpose cache already relies on) — which makes a cached checksum a
+    *detector* of in-place mutation rather than a victim of it: a bit
+    flipped in the live array no longer matches its publish-time sums.
+    """
+    key = id(weights)
+    entry = _checksum_cache.get(key)
+    if entry is None:
+        # float64 accumulation: a corrupted float32 weight can sit near
+        # the dtype max, where a same-dtype abs-sum overflows to inf and
+        # spews RuntimeWarnings from inside the check itself.
+        entry = (
+            weights.sum(axis=axis, dtype=np.float64),
+            np.abs(weights).sum(axis=axis, dtype=np.float64),
+        )
+        try:
+            weakref.finalize(weights, _checksum_cache.pop, key, None)
+        except TypeError:
+            return entry  # not weakref-able: hand back uncached
+        _checksum_cache[key] = entry
+    return entry
+
+
+# ----------------------------------------------------------------------
+# the checks
+# ----------------------------------------------------------------------
+def gemm_tolerance(cols: np.ndarray, wt: np.ndarray) -> np.ndarray:
+    """Per-output-row tolerance of the GEMM checksum comparison.
+
+    ``SAFETY * eps * sqrt(K + N)`` of each row's checksum magnitude
+    bound ``|cols_i| . (|wt| @ 1)`` — see the module docstring.
+    """
+    _, abs_rowsum = _checksums(wt, axis=1)
+    eps = float(np.finfo(np.result_type(cols, wt)).eps)
+    scale = SAFETY * eps * math.sqrt(cols.shape[1] + wt.shape[1])
+    return scale * (np.abs(cols) @ abs_rowsum)
+
+
+def verify_gemm(
+    cols: np.ndarray, wt: np.ndarray, product: np.ndarray, kind: str = "conv"
+) -> None:
+    """Check ``product @ 1 == cols @ (wt @ 1)`` within tolerance.
+
+    Read-only; raises :class:`IntegrityError` on the first violating
+    row.  NaN/Inf in the product always violate (comparisons with NaN
+    are False, and the tolerance is finite).
+    """
+    obs.counter_add("integrity.checks.abft")
+    rowsum, _ = _checksums(wt, axis=1)
+    got = product.sum(axis=1, dtype=np.float64)
+    expected = cols @ rowsum
+    tolerance = gemm_tolerance(cols, wt)
+    ok = np.abs(got - expected) <= tolerance
+    if ok.all():
+        return
+    obs.counter_add("integrity.detected.abft")
+    row = int(np.argmin(ok))
+    raise IntegrityError(
+        f"ABFT {kind} checksum mismatch at output row {row}: "
+        f"row sum {got[row]!r} != checksum {expected[row]!r} "
+        f"(tolerance {tolerance[row]:.3e})"
+    )
+
+
+def verify_matvec(
+    weights: np.ndarray, flat: np.ndarray, product: np.ndarray
+) -> None:
+    """Check ``sum(weights @ flat) == (1 @ weights) . flat`` within tolerance."""
+    obs.counter_add("integrity.checks.abft")
+    colsum, abs_colsum = _checksums(weights, axis=0)
+    got = float(product.sum(dtype=np.float64))
+    expected = float(colsum @ flat)
+    eps = float(np.finfo(np.result_type(weights, flat)).eps)
+    bound = float(abs_colsum @ np.abs(flat))  # float64 via the checksums
+    tolerance = SAFETY * eps * math.sqrt(flat.size + product.size) * bound
+    if abs(got - expected) <= tolerance:
+        return
+    obs.counter_add("integrity.detected.abft")
+    raise IntegrityError(
+        f"ABFT fc checksum mismatch: output sum {got!r} != "
+        f"checksum {expected!r} (tolerance {tolerance:.3e})"
+    )
+
+
+# ----------------------------------------------------------------------
+# detectability thresholds (what the property suite injects above)
+# ----------------------------------------------------------------------
+def detectable_weight_delta(
+    cols: np.ndarray, wt: np.ndarray, k: int, margin: float = 4.0
+) -> float:
+    """Smallest guaranteed-detected perturbation of one weight in row ``k``.
+
+    A delta added to ``wt[k, n]`` (any ``n``) shifts row ``i``'s checksum
+    by ``cols[i, k] * delta``; detection needs that shift to clear the
+    row's tolerance at the row where ``|cols[:, k]|`` peaks.  Returns
+    ``inf`` for a dead column (all-zero ``cols[:, k]`` never propagates).
+    """
+    column = np.abs(cols[:, k])
+    row = int(np.argmax(column))
+    if column[row] == 0.0:
+        return float("inf")
+    return margin * float(gemm_tolerance(cols, wt)[row]) / float(column[row])
+
+
+def detectable_patch_delta(
+    cols: np.ndarray, wt: np.ndarray, i: int, k: int, margin: float = 4.0
+) -> float:
+    """Smallest guaranteed-detected perturbation of patch entry ``(i, k)``.
+
+    The shift scales with the weight row-sum at ``k``; when those sums
+    cancel to ~0 the ones-checksum is blind there (module docstring) and
+    this returns ``inf`` — callers skip such coordinates.
+    """
+    rowsum, abs_rowsum = _checksums(wt, axis=1)
+    eps = float(np.finfo(np.result_type(cols, wt)).eps)
+    scale = SAFETY * eps * math.sqrt(cols.shape[1] + wt.shape[1])
+    # The perturbed patch also inflates its own row's tolerance by
+    # scale * |abs_rowsum[k]| * delta; require the signal to clear both.
+    signal_per_delta = abs(float(rowsum[k])) - scale * float(abs_rowsum[k])
+    if signal_per_delta <= 0.0:
+        return float("inf")
+    blind = scale * float(abs_rowsum[k]) >= 0.5 * abs(float(rowsum[k]))
+    if blind:
+        return float("inf")
+    return margin * float(gemm_tolerance(cols, wt)[i]) / signal_per_delta

@@ -28,6 +28,18 @@ switches to the sweep workload (probe requests cycling over K
 (network, threshold) groups) whose per-shard cache affinity the sharded
 benchmark measures.
 
+``serve`` drains gracefully on SIGTERM (and SIGINT): the listener
+closes (new connections refused), in-flight requests complete and their
+responses are written, the batcher flushes, and the process exits 0 —
+a rolling restart loses nothing.
+
+Integrity: ``--integrity MODE`` (``off`` / ``always`` / ``sample:P``)
+turns on ABFT kernel verification plus — with ``--shards`` — the arena
+CRC recheck (``--integrity-recheck-s``) and canary sweep
+(``--canary-interval``).  ``loadgen --verify-bytes`` re-runs every ok
+response through direct inference and counts byte mismatches (the chaos
+suite's zero-corrupted-responses gate).
+
 Exit status: 0 on success, 1 when the workload saw any ``error``
 responses, 2 on bad usage.
 """
@@ -37,16 +49,25 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
+import signal
 import sys
 
 from repro.nn.models import network_names
+from repro.reliability import RetryPolicy
+from repro.reliability.integrity import INTEGRITY_ENV, RECHECK_ENV
 from repro.serve.loadgen import (
     build_requests,
     build_sweep_requests,
     run_load,
     summarize,
 )
-from repro.serve.requests import REQUEST_KINDS, ServeRequest, ServeResponse
+from repro.serve.requests import (
+    REQUEST_KINDS,
+    ServeRequest,
+    ServeResponse,
+    canonical_response_bytes,
+)
 from repro.serve.router import ShardedService, ShardTierConfig
 from repro.serve.service import InferenceService, ServeConfig
 
@@ -104,6 +125,20 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--start-method", default="fork",
                         choices=["fork", "spawn"],
                         help="multiprocessing start method for shards")
+    parser.add_argument("--integrity", default=None, metavar="MODE",
+                        help="CNVLUTIN_INTEGRITY mode: off, always, or "
+                        "sample:P (ABFT kernel checksums + arena CRC)")
+    parser.add_argument("--integrity-recheck-s", type=float, default=None,
+                        metavar="S", help="seconds between shard arena CRC "
+                        "rechecks (0 = before every reply)")
+    parser.add_argument("--canary-interval", type=float, default=None,
+                        metavar="S", help="seconds between router canary "
+                        "sweeps (golden-request probes; sharded only)")
+    parser.add_argument("--forward-attempts", type=int, default=None,
+                        metavar="N", help="router forward retry budget "
+                        "(raise to ride out shard quarantine/respawn)")
+    parser.add_argument("--forward-backoff", type=float, default=None,
+                        metavar="S", help="router forward retry backoff cap")
 
 
 def _service_config(args) -> ServeConfig:
@@ -123,6 +158,12 @@ def _service_config(args) -> ServeConfig:
 def _build_service(args, trace: bool = False):
     """The in-process service, or the sharded tier when ``--shards N``."""
     config = _service_config(args)
+    if args.integrity is not None:
+        # Shards get the mode via their spec; this covers the
+        # single-process path and the router's own direct inference.
+        os.environ[INTEGRITY_ENV] = args.integrity
+    if args.integrity_recheck_s is not None:
+        os.environ[RECHECK_ENV] = str(args.integrity_recheck_s)
     if not args.shards:
         return InferenceService(config)
     tier = ShardTierConfig(
@@ -132,8 +173,25 @@ def _build_service(args, trace: bool = False):
         engine_cache_mb=args.shard_cache_mb,
         start_method=args.start_method,
         trace=trace,
+        integrity=args.integrity,
+        integrity_recheck_s=args.integrity_recheck_s,
+        canary_interval_s=args.canary_interval,
     )
-    return ShardedService(config, tier=tier)
+    policy = None
+    if args.forward_attempts is not None or args.forward_backoff is not None:
+        policy = RetryPolicy(
+            max_attempts=(
+                args.forward_attempts if args.forward_attempts is not None
+                else 3
+            ),
+            backoff_base=0.02,
+            backoff_max=(
+                args.forward_backoff if args.forward_backoff is not None
+                else 0.25
+            ),
+            seed=config.seed,
+        )
+    return ShardedService(config, tier=tier, policy=policy)
 
 
 async def _serve_async(args) -> int:
@@ -141,11 +199,22 @@ async def _serve_async(args) -> int:
     await service.start()
     served = 0
     done = asyncio.Event()
+    stopping = asyncio.Event()
+    inflight: set[asyncio.Task] = set()
+    connections: set[asyncio.StreamWriter] = set()
+
+    loop = asyncio.get_running_loop()
+    try:
+        loop.add_signal_handler(signal.SIGTERM, stopping.set)
+        loop.add_signal_handler(signal.SIGINT, stopping.set)
+    except (NotImplementedError, RuntimeError):  # pragma: no cover - non-unix
+        pass
 
     async def _handle(reader, writer):
         nonlocal served
         write_lock = asyncio.Lock()
         tasks = []
+        connections.add(writer)
 
         async def _answer(line: bytes) -> None:
             nonlocal served
@@ -165,32 +234,53 @@ async def _serve_async(args) -> int:
             if args.max_requests and served >= args.max_requests:
                 done.set()
 
-        while True:
-            line = await reader.readline()
-            if not line:
-                break
-            if line.strip():
-                tasks.append(asyncio.create_task(_answer(line)))
-        if tasks:
-            await asyncio.gather(*tasks, return_exceptions=True)
-        writer.close()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if line.strip():
+                    task = asyncio.create_task(_answer(line))
+                    tasks.append(task)
+                    inflight.add(task)
+                    task.add_done_callback(inflight.discard)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            connections.discard(writer)
+            writer.close()
 
     server = await asyncio.start_server(_handle, args.host, args.port)
     ports = [sock.getsockname()[1] for sock in server.sockets]
     print(f"repro-serve listening on {args.host}:{ports[0]} "
           f"(scale={args.scale}, networks={','.join(args.networks)})",
           flush=True)
+    waiters = [asyncio.create_task(stopping.wait())]
+    if args.max_requests:
+        waiters.append(asyncio.create_task(done.wait()))
     try:
-        if args.max_requests:
-            await done.wait()
-        else:
-            await server.serve_forever()
-    except (KeyboardInterrupt, asyncio.CancelledError):  # pragma: no cover
+        await asyncio.wait(waiters, return_when=asyncio.FIRST_COMPLETED)
+    except asyncio.CancelledError:  # pragma: no cover - hard loop teardown
         pass
     finally:
+        for waiter in waiters:
+            waiter.cancel()
+        # Graceful drain: refuse new connections, let every accepted
+        # request finish and flush its response, then stop the service
+        # (which flushes the micro-batcher) — a SIGTERM'd rolling
+        # restart loses no accepted work and exits 0.
         server.close()
         await server.wait_closed()
+        while inflight:
+            await asyncio.gather(*list(inflight), return_exceptions=True)
+        for writer in list(connections):
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - already-dead transport
+                pass
         await service.stop()
+        if stopping.is_set():
+            print(f"repro-serve drained after {served} requests", flush=True)
     return 0
 
 
@@ -224,9 +314,13 @@ async def _loadgen_async(args) -> int:
         result = await run_load(
             service, requests, rate=args.rate, seed=args.seed
         )
+        summary = summarize(result)
+        if args.verify_bytes:
+            summary["byte_mismatches"] = await _verify_bytes(
+                service, requests, result
+            )
     finally:
         await service.stop()
-    summary = summarize(result)
     print(json.dumps(summary, indent=2))
     if args.json:
         report = {
@@ -242,6 +336,9 @@ async def _loadgen_async(args) -> int:
                 "kinds": args.kinds or list(REQUEST_KINDS),
                 "shards": args.shards,
                 "sweep_groups": args.sweep_groups,
+                "integrity": args.integrity,
+                "integrity_recheck_s": args.integrity_recheck_s,
+                "canary_interval": args.canary_interval,
             },
             "summary": summary,
             "metrics": obs.get_metrics().snapshot(),
@@ -252,7 +349,32 @@ async def _loadgen_async(args) -> int:
     if args.trace:
         written = obs.write_chrome_trace(args.trace)
         print(f"wrote trace {args.trace} ({written} events)")
-    return 1 if summary["error"] else 0
+    failed = summary["error"] or summary.get("byte_mismatches", 0)
+    return 1 if failed else 0
+
+
+async def _verify_bytes(service, requests, result) -> int:
+    """Count ok responses whose canonical bytes diverge from direct
+    inference — the zero-corrupted-responses gate of the chaos suite."""
+    from repro.serve.models import direct_response
+
+    repo = service.repo  # InferenceService and ShardedService both carry one
+    by_id: dict[str, ServeRequest] = {}
+    for request in requests:
+        by_id.setdefault(request.id, request)
+    mismatches = 0
+    for rid, response in result.responses.items():
+        if response.status != "ok":
+            continue
+        request = by_id.get(rid)
+        if request is None:
+            continue
+        direct = await asyncio.to_thread(direct_response, repo, request)
+        if canonical_response_bytes(response) != canonical_response_bytes(
+            direct
+        ):
+            mismatches += 1
+    return mismatches
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -282,6 +404,10 @@ def main(argv: list[str] | None = None) -> int:
                          "cycling over K (network, threshold) groups — the "
                          "traffic shape the sharded tier's cache "
                          "partitioning accelerates")
+    loadgen.add_argument("--verify-bytes", action="store_true",
+                         help="re-run every ok response through direct "
+                         "inference and count canonical-byte mismatches "
+                         "(fails the run when any exist)")
     loadgen.add_argument("--json", default=None, metavar="REPORT_JSON",
                          help="write summary + metrics snapshot")
     loadgen.add_argument("--trace", default=None, metavar="TRACE_JSON",

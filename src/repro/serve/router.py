@@ -31,6 +31,20 @@ N :mod:`repro.serve.shard` worker processes:
    :class:`~repro.reliability.RespawnPolicy` backoff, and the new
    generation re-joins the ring once it answers a ping.
 
+5. **Self-healing integrity.** A shard that reports corruption — a
+   failing arena CRC recheck, a persistent ABFT kernel failure, or a
+   wrong answer to the router's *canary* probe (a golden request with
+   known response bytes, swept across shards on
+   ``canary_interval_s``) — is **quarantined**: pulled from the ring,
+   its process terminated, and a respawn scheduled through the normal
+   :class:`~repro.reliability.RespawnPolicy` path.  Before respawning,
+   the router verifies its *own* arena view; if the shared pages really
+   are corrupt it **republishes** a fresh arena from the calibrated
+   stores so the new generation (and later respawns) attach clean
+   weights.  ``start()`` also sweeps stale ``cnvlutin-*`` shared-memory
+   segments left by dead processes (:func:`repro.nn.shm.
+   sweep_stale_arenas`).
+
 Observability: ``router.requests`` / ``router.forwarded`` (+
 ``router.forwarded.shard<i>``) / ``router.shed`` / ``router.retries`` /
 ``router.failovers`` / ``router.deaths`` / ``router.respawns``
@@ -38,7 +52,11 @@ counters, a ``router.live_shards`` gauge, a ``router.forward_ms``
 histogram, and a ``router.forward`` span per attempt;
 :meth:`ShardedService.collect_obs` pulls every shard's metrics snapshot
 and trace buffer into the router process, so one Chrome trace shows
-router and shard time across pids on a single timeline.
+router and shard time across pids on a single timeline.  Integrity adds
+``integrity.detected.<crc|abft|canary>``, ``integrity.quarantines`` (+
+``.<reason>``), ``integrity.republishes``, ``integrity.canary.probes``
+and ``integrity.arena.swept`` — all counted router-side, because a
+quarantined shard's own counters die with its process.
 """
 
 from __future__ import annotations
@@ -54,7 +72,7 @@ from pathlib import Path
 
 from repro import obs
 from repro.experiments.context import ExperimentContext
-from repro.nn.shm import SharedWeightArena
+from repro.nn.shm import SharedWeightArena, sweep_stale_arenas
 from repro.reliability import (
     FaultInjector,
     InjectedFault,
@@ -62,8 +80,12 @@ from repro.reliability import (
     RetryPolicy,
 )
 from repro.serve.hashring import HashRing, request_key
-from repro.serve.models import ModelRepository
-from repro.serve.requests import ServeRequest, ServeResponse
+from repro.serve.models import ModelRepository, direct_response
+from repro.serve.requests import (
+    ServeRequest,
+    ServeResponse,
+    canonical_response_bytes,
+)
 from repro.serve.service import ServeConfig
 from repro.serve.shard import ShardSpec, run_shard
 
@@ -91,6 +113,14 @@ class ShardTierConfig:
     faults: str | None = None
     fault_state: str | None = None
     fault_seed: int = 0
+    #: ``CNVLUTIN_INTEGRITY`` value pushed into every shard (None =
+    #: inherit the environment).
+    integrity: str | None = None
+    integrity_recheck_s: float | None = None
+    #: Seconds between router canary sweeps (golden request with known
+    #: response bytes probed on every live shard); None disables the
+    #: background loop — ``run_canary()`` can still be called directly.
+    canary_interval_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -118,8 +148,9 @@ class _ShardClient:
         self._writer: asyncio.StreamWriter | None = None
         self._write_lock = asyncio.Lock()
         self._on_down = None
+        self._on_event = None
 
-    async def connect(self, timeout_s: float, on_down) -> None:
+    async def connect(self, timeout_s: float, on_down, on_event=None) -> None:
         """Dial until the shard answers a ping (it may still be building
         its engines when the socket first appears)."""
         deadline = time.perf_counter() + timeout_s
@@ -136,6 +167,7 @@ class _ShardClient:
             self._writer = writer
             self._pending = {}
             self._on_down = on_down
+            self._on_event = on_event
             self.alive = True
             self._reader_task = asyncio.create_task(self._read_loop(reader))
             await self.call({"op": "ping"}, timeout_s=timeout_s)
@@ -151,6 +183,12 @@ class _ShardClient:
                 if not line:
                     break
                 envelope = json.loads(line)
+                if "evt" in envelope:
+                    # Unsolicited shard push (e.g. an integrity report);
+                    # no rid, never resolves a pending call.
+                    if self._on_event is not None:
+                        self._on_event(self, envelope)
+                    continue
                 future = self._pending.pop(envelope.get("rid"), None)
                 if future is None or future.done():
                     continue
@@ -197,6 +235,7 @@ class _ShardClient:
     async def close(self) -> None:
         self.alive = False
         self._on_down = None
+        self._on_event = None
         if self._reader_task is not None:
             self._reader_task.cancel()
         if self._writer is not None:
@@ -244,6 +283,8 @@ class ShardedService:
         self._background: set[asyncio.Task] = set()
         self._mp = multiprocessing.get_context(self.tier.start_method)
         self._stopping = False
+        self._quarantined: set[int] = set()
+        self._golden: dict[str, bytes] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -272,6 +313,8 @@ class ShardedService:
             faults=self.tier.faults,
             fault_state=self.tier.fault_state,
             fault_seed=self.tier.fault_seed,
+            integrity=self.tier.integrity,
+            integrity_recheck_s=self.tier.integrity_recheck_s,
         )
 
     def _spawn(self, index: int) -> _ShardClient:
@@ -287,6 +330,7 @@ class ShardedService:
     async def start(self) -> None:
         if self.started:
             raise RuntimeError("service already started")
+        sweep_stale_arenas()
         stores = {
             name: self.repo.entry(name).store for name in self.repo.networks
         }
@@ -295,13 +339,20 @@ class ShardedService:
         clients = [self._spawn(index) for index in range(self.tier.shards)]
         await asyncio.gather(
             *(
-                client.connect(self.tier.connect_timeout_s, self._shard_down)
+                client.connect(
+                    self.tier.connect_timeout_s, self._shard_down,
+                    self._integrity_event,
+                )
                 for client in clients
             )
         )
         self._clients = {client.index: client for client in clients}
         self.ring = HashRing(list(self._clients), vnodes=self.tier.vnodes)
         obs.gauge_set("router.live_shards", len(self._clients))
+        if self.tier.canary_interval_s is not None:
+            task = asyncio.create_task(self._canary_loop())
+            self._background.add(task)
+            task.add_done_callback(self._background.discard)
 
     async def drain(self) -> None:
         """Wait for every accepted request to resolve."""
@@ -426,11 +477,20 @@ class ShardedService:
         while True:
             preference = self._live_preference(key)
             if not preference:
-                self._finish(
-                    future, request, "error",
-                    {"error": "no live shards own this key"},
-                )
-                return
+                # Every shard may be mid-quarantine/respawn; retry on
+                # the same budget as a failed forward so a healing tier
+                # absorbs the request instead of erroring it.
+                if not self.policy.retries_left(attempt):
+                    self._finish(
+                        future, request, "error",
+                        {"error": "no live shards own this key"},
+                    )
+                    return
+                obs.counter_add("router.retries")
+                delay = max(self.policy.delay(label, attempt), 0.05)
+                attempt += 1
+                await asyncio.sleep(delay)
+                continue
             target = preference[attempt % len(preference)]
             client = self._clients[target]
             started = time.perf_counter()
@@ -528,7 +588,10 @@ class ShardedService:
         client = self._spawn(index)
         client.generation = (old.generation if old else 0) + 1
         try:
-            await client.connect(self.tier.connect_timeout_s, self._shard_down)
+            await client.connect(
+                self.tier.connect_timeout_s, self._shard_down,
+                self._integrity_event,
+            )
         except (TimeoutError, OSError):
             await client.close()
             task = asyncio.create_task(self._respawn(index))
@@ -540,6 +603,115 @@ class ShardedService:
             self.ring.add(index)
             obs.gauge_set("router.live_shards", len(self.ring))
         obs.counter_add("router.respawns")
+
+    # ------------------------------------------------------------------
+    # integrity: quarantine, republish, canary
+    # ------------------------------------------------------------------
+    def _integrity_event(self, client: _ShardClient, envelope: dict) -> None:
+        """Reader-loop callback: a shard pushed an ``evt`` envelope."""
+        if envelope.get("evt") != "integrity" or self._stopping:
+            return
+        reason = envelope.get("reason", "unknown")
+        obs.counter_add(f"integrity.detected.{reason}")
+        task = asyncio.create_task(self._quarantine(client, reason))
+        self._background.add(task)
+        task.add_done_callback(self._background.discard)
+
+    async def _quarantine(self, client: _ShardClient, reason: str) -> None:
+        """Detect → quarantine → republish (if corrupt) → respawn.
+
+        The shard already poisoned itself (it fails every request fast),
+        so the router's job is to take it out of the ring, make sure the
+        shared weights the *next* generation attaches are clean, and
+        hand the index to the normal respawn path.
+        """
+        if self._stopping or self.ring is None:
+            return
+        index = client.index
+        if index in self._quarantined or self._clients.get(index) is not client:
+            return  # stale event for an already-replaced generation
+        self._quarantined.add(index)
+        obs.counter_add("integrity.quarantines")
+        obs.counter_add(f"integrity.quarantines.{reason}")
+        if index in self.ring:
+            self.ring.remove(index)
+        obs.gauge_set("router.live_shards", len(self.ring))
+        self._republish_if_corrupt()
+        # close() clears the on_down callback first, so tearing the
+        # connection down here cannot double-schedule a respawn.
+        await client.close()
+        process = client.process
+        if process is not None and process.is_alive():
+            process.terminate()
+            await asyncio.to_thread(process.join, 5.0)
+        self._quarantined.discard(index)
+        await self._respawn(index)
+
+    def _republish_if_corrupt(self) -> None:
+        """Republish the arena from the calibrated stores — but only if
+        the router's own view really fails CRC.  Several shards
+        reporting one stale flip must trigger one republish, not one
+        per report; and an ABFT-only transient (arena clean) must not
+        churn the arena at all."""
+        if self.arena is None or not self.arena.verify():
+            return
+        stores = {
+            name: self.repo.entry(name).store for name in self.repo.networks
+        }
+        old, self.arena = self.arena, SharedWeightArena.publish(stores)
+        old.unlink()
+        old.close()
+        obs.counter_add("integrity.republishes")
+
+    def _canary_request(self, network: str) -> ServeRequest:
+        return ServeRequest(
+            id=f"canary:{network}", kind="classify", network=network,
+            image_index=0,
+        )
+
+    async def run_canary(self) -> int:
+        """Probe every live shard with a golden request per network and
+        quarantine any shard whose canonical response bytes diverge from
+        the router's own direct inference.  Returns probes sent."""
+        probes = 0
+        for network in self.repo.networks:
+            golden = self._golden.get(network)
+            if golden is None:
+                request = self._canary_request(network)
+                golden = canonical_response_bytes(
+                    await asyncio.to_thread(
+                        direct_response, self.repo, request
+                    )
+                )
+                self._golden[network] = golden
+            payload = self._canary_request(network).to_payload()
+            for client in list(self._clients.values()):
+                if not client.alive or client.index in self._quarantined:
+                    continue
+                try:
+                    envelope = await client.call(
+                        {"req": payload},
+                        timeout_s=self.tier.forward_timeout_s,
+                    )
+                except (ShardDead, TimeoutError, asyncio.TimeoutError):
+                    continue  # dead/poisoned shards heal via other paths
+                probes += 1
+                obs.counter_add("integrity.canary.probes")
+                response = ServeResponse.from_payload(envelope["resp"])
+                if canonical_response_bytes(response) != golden:
+                    obs.counter_add("integrity.detected.canary")
+                    await self._quarantine(client, "canary")
+        return probes
+
+    async def _canary_loop(self) -> None:
+        while not self._stopping:
+            await asyncio.sleep(self.tier.canary_interval_s)
+            try:
+                await self.run_canary()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                obs.counter_add("integrity.canary.errors")
 
     # ------------------------------------------------------------------
     # observability

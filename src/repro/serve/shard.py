@@ -36,7 +36,22 @@ counter (shared across shards via ``CNVLUTIN_FAULT_STATE``), so
 ``shard:serve=crash@5`` kills whichever shard handles the 6th sharded
 request, mid-run, exactly like an OOM-killed worker.  ``raise`` rules
 answer a ``fail`` envelope instead, driving the router's failover path
-without losing the process.
+without losing the process.  ``mem:weights=corrupt@N`` flips one bit of
+the attached shared arena as the N-th sharded request arrives — in the
+*shared* pages, so every shard computes on the flipped weights until the
+router republishes.
+
+Integrity gate: when ``CNVLUTIN_INTEGRITY`` is active, every reply is
+preceded by an arena CRC recheck whenever the last clean check is older
+than ``CNVLUTIN_INTEGRITY_RECHECK_S`` (0 = before *every* reply: since
+bit flips persist, no response computed on corrupt weights can then
+reach the router, which is the chaos suite's zero-corrupted-responses
+guarantee).  A failing recheck — or a persistent
+:class:`~repro.reliability.integrity.IntegrityError` surviving the
+service's own retry — turns the reply into a ``fail`` envelope, marks
+the shard *poisoned* (all later requests fail fast), and pushes an
+unsolicited ``{"evt": "integrity", ...}`` envelope so the router can
+quarantine, republish, and respawn without waiting for a timeout.
 """
 
 from __future__ import annotations
@@ -44,19 +59,25 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro import obs
 from repro.experiments.context import ExperimentContext
-from repro.nn.engine import attach_shared_weights
+from repro.nn.engine import attach_shared_weights, attached_arenas
 from repro.reliability import FaultInjector, InjectedFault
+from repro.reliability import integrity
 from repro.reliability.faults import FAULTS_ENV, SEED_ENV, STATE_ENV
 from repro.serve.models import ModelRepository
 from repro.serve.requests import ServeRequest
 from repro.serve.service import InferenceService, ServeConfig
 
-__all__ = ["ShardSpec", "run_shard"]
+__all__ = ["ShardSpec", "run_shard", "MEM_WEIGHTS_SITE"]
+
+#: Fault site modelling a bit flip in the shared weight arena; the
+#: ``corrupt`` action is applied here (the call site owns the buffer).
+MEM_WEIGHTS_SITE = "mem:weights"
 
 
 @dataclass(frozen=True)
@@ -78,6 +99,8 @@ class ShardSpec:
     faults: str | None = None
     fault_state: str | None = None
     fault_seed: int = 0
+    integrity: str | None = None
+    integrity_recheck_s: float | None = None
 
 
 def run_shard(spec: ShardSpec) -> None:
@@ -89,6 +112,10 @@ def run_shard(spec: ShardSpec) -> None:
         os.environ[SEED_ENV] = str(spec.fault_seed)
         if spec.fault_state:
             os.environ[STATE_ENV] = spec.fault_state
+    if spec.integrity is not None:
+        os.environ[integrity.INTEGRITY_ENV] = spec.integrity
+    if spec.integrity_recheck_s is not None:
+        os.environ[integrity.RECHECK_ENV] = str(spec.integrity_recheck_s)
     if spec.trace:
         os.environ["CNVLUTIN_TRACE"] = "1"
         obs.enable_tracing()
@@ -108,6 +135,35 @@ def _build_service(spec: ShardSpec) -> InferenceService:
     return InferenceService(config=spec.config, repo=repo)
 
 
+def _corrupt_arena(arena) -> None:
+    """Apply a ``mem:weights`` corrupt action: flip one arena bit.
+
+    Targets an FC weight segment when one exists — FC weights are read
+    live on every matvec, while conv weights enter GEMMs through cached
+    transposes, so an FC flip both corrupts served bytes *and* is
+    CRC-detectable.  The flipped bit is in the exponent byte of a
+    float32/float64 word, so the damage is far above any dtype
+    tolerance.  Flips land in the *shared* pages: every attached shard
+    sees them until the router republishes.
+    """
+    target = None
+    for path, offset, nbytes, _ in arena._segments():
+        _, section, layer = path.split("/")
+        if section == "weights" and layer.startswith("fc"):
+            target = (offset, nbytes)
+            break
+        if section == "weights" and target is None:
+            target = (offset, nbytes)
+    if target is None:  # pragma: no cover - empty manifest
+        return
+    offset, nbytes = target
+    # Word-align to the middle of the segment, then hit the high byte of
+    # a 4-byte word (sign/exponent bits on little-endian floats).
+    position = offset + (nbytes // 2 & ~3) + 3
+    arena.shm.buf[position] ^= 0x40
+    obs.counter_add("integrity.faults.weight_flips")
+
+
 async def _shard_main(spec: ShardSpec) -> None:
     service = _build_service(spec)
     injector = FaultInjector.from_env()
@@ -115,6 +171,22 @@ async def _shard_main(spec: ShardSpec) -> None:
     stopping = asyncio.Event()
     obs.counter_add("shard.started")
     obs.gauge_set("shard.index", spec.index)
+
+    arenas = attached_arenas()
+    arena = arenas[-1] if arenas else None
+    integrity_mode, _ = integrity.resolve_policy()
+    recheck_s = integrity.resolve_recheck_s()
+    #: Mutable gate state: monotonic deadline of the next arena CRC
+    #: recheck, and the poisoned flag set once corruption is confirmed
+    #: (every later reply fails fast until the router replaces us).
+    gate = {"next_check": 0.0, "poisoned": None}
+
+    def _recheck_due(now: float) -> bool:
+        return (
+            arena is not None
+            and integrity_mode != "off"
+            and now >= gate["next_check"]
+        )
 
     async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
         write_lock = asyncio.Lock()
@@ -126,9 +198,28 @@ async def _shard_main(spec: ShardSpec) -> None:
                 writer.write(line)
                 await writer.drain()
 
+        async def escalate(rid, reason: str, detail: str) -> None:
+            """Fail the reply, poison the shard, and notify the router."""
+            first = gate["poisoned"] is None
+            gate["poisoned"] = reason
+            obs.counter_add("shard.integrity_failures")
+            await reply({"rid": rid, "fail": f"integrity: {detail}"})
+            if first:
+                await reply({
+                    "evt": "integrity",
+                    "reason": reason,
+                    "detail": detail,
+                    "shard": spec.index,
+                })
+
         async def serve_one(rid, envelope: dict) -> None:
             try:
                 injector.fire("shard:serve", trial=None)
+                if (
+                    arena is not None
+                    and injector.fire(MEM_WEIGHTS_SITE, trial=None) == "corrupt"
+                ):
+                    _corrupt_arena(arena)
                 request = ServeRequest.from_payload(envelope["req"])
             except InjectedFault as exc:
                 obs.counter_add("shard.injected_failures")
@@ -136,6 +227,14 @@ async def _shard_main(spec: ShardSpec) -> None:
                 return
             except (KeyError, TypeError, ValueError) as exc:
                 await reply({"rid": rid, "fail": f"bad request: {exc}"})
+                return
+            if gate["poisoned"] is not None:
+                # Confirmed-corrupt shard: fail fast (no compute) while
+                # the router's quarantine/respawn is in flight.
+                await reply({
+                    "rid": rid,
+                    "fail": f"integrity: shard poisoned ({gate['poisoned']})",
+                })
                 return
             obs.counter_add("shard.requests")
             outcome = service.try_submit(request)
@@ -149,6 +248,26 @@ async def _shard_main(spec: ShardSpec) -> None:
             else:
                 response = outcome
             response.shard = spec.index
+            # Post-compute, pre-reply integrity gate.  Bit flips in the
+            # arena persist, so with a zero recheck deadline any response
+            # computed on corrupt weights is guaranteed to see a failing
+            # CRC *before* its bytes reach the router.
+            now = time.monotonic()
+            if _recheck_due(now):
+                gate["next_check"] = now + recheck_s
+                corrupt = await asyncio.to_thread(arena.verify)
+                if corrupt:
+                    await escalate(
+                        rid, "crc", f"arena CRC mismatch: {corrupt[:3]}"
+                    )
+                    return
+            if response.status == "error" and "IntegrityError" in str(
+                response.payload.get("error", "")
+            ):
+                # The kernel's ABFT check failed on every service-level
+                # retry: persistent corruption, not a transient flip.
+                await escalate(rid, "abft", "persistent ABFT failure")
+                return
             await reply({"rid": rid, "resp": response.to_payload()})
 
         async def control(rid, op: str) -> None:
