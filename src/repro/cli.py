@@ -168,7 +168,7 @@ def _run_network(args) -> int:
 
         print()
         print(metrics_report({
-            "version": 3,
+            "version": 4,
             "scale": args.scale,
             "jobs": args.jobs,
             "wall_seconds": time.perf_counter() - start,

@@ -265,7 +265,8 @@ class RunManifest:
     cache_misses: int = 0
     cache_stores: int = 0
     cache_quarantined: int = 0
-    #: Merged :mod:`repro.obs.metrics` snapshot (schema v3; empty when
+    #: Merged :mod:`repro.obs.metrics` snapshot (schema v4 carries the
+    #: histogram quantile-sketch buckets; empty when
     #: loaded from a v2 manifest).
     metrics: dict = field(default_factory=dict)
 
@@ -290,7 +291,7 @@ class RunManifest:
 
     def to_dict(self) -> dict:
         return {
-            "version": 3,
+            "version": 4,
             "scale": self.scale,
             "seed": self.seed,
             "networks": list(self.networks),

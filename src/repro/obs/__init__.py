@@ -14,6 +14,13 @@ Zero-dependency tracing + metrics, wired through every hot path:
 * :mod:`repro.obs.report` — the ``repro-obs report`` CLI (and the
   runner's ``--metrics`` flag): self-time breakdowns per layer, network,
   and experiment plus cache/retry summaries from any saved manifest.
+* :mod:`repro.obs.timeseries` — the live telemetry plane: windowed
+  per-source aggregation of streamed metric deltas (shard pushes,
+  local sampler ticks) with high-watermark gauges.
+* :mod:`repro.obs.slo` — declared latency/error/shed objectives,
+  evaluated into ``slo.*`` gauges and burn-rate counters.
+* :mod:`repro.obs.expo` — Prometheus text exposition of any snapshot
+  (histogram buckets straight from the quantile sketch) plus a linter.
 
 Instrumentation never perturbs results: spans and metrics only observe,
 and the golden-snapshot tests pin byte-identical output with tracing on
@@ -24,11 +31,14 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     counter_add,
+    gauge_max,
     gauge_set,
     get_metrics,
     merge_snapshot,
     observe,
     reset_metrics,
+    sketch_boundary,
+    sketch_index,
     take_snapshot,
 )
 from repro.obs.trace import (
@@ -65,7 +75,10 @@ __all__ = [
     "reset_metrics",
     "counter_add",
     "gauge_set",
+    "gauge_max",
     "observe",
     "take_snapshot",
     "merge_snapshot",
+    "sketch_index",
+    "sketch_boundary",
 ]

@@ -1,0 +1,244 @@
+"""Prometheus text exposition for metrics snapshots.
+
+Renders any :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` payload
+(or several, distinguished by label sets — e.g. one series per shard)
+as Prometheus text-format 0.0.4, the ``/metrics`` lingua franca:
+
+* counters → ``<ns>_<name>_total`` with ``# TYPE ... counter``;
+* gauges → ``<ns>_<name>`` with ``# TYPE ... gauge``;
+* histograms → the full Prometheus histogram family:
+  ``_bucket{le="..."}`` lines with *cumulative* counts on the sketch's
+  fixed log boundaries, a ``+Inf`` bucket, plus ``_sum`` and
+  ``_count`` — so a Prometheus server can compute
+  ``histogram_quantile()`` over exactly the same buckets
+  :meth:`~repro.obs.metrics.Histogram.quantile` uses locally.
+
+Dotted metric names sanitize to the ``[a-zA-Z_:][a-zA-Z0-9_:]*``
+charset (dots and dashes become underscores).  :func:`validate_exposition`
+is the companion lint: it re-parses rendered text (or anything an
+external exporter claims is exposition format) and returns a list of
+problems — unknown line shapes, samples with no preceding ``# TYPE``,
+histogram families missing a ``+Inf`` bucket or with non-monotonic
+cumulative bucket counts.  CI runs it over the admin endpoint's output.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.obs.metrics import sketch_boundary
+
+__all__ = [
+    "sanitize_metric_name",
+    "render_prometheus",
+    "validate_exposition",
+]
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<ts>-?\d+))?$"
+)
+_LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Dots, dashes, and anything else illegal become underscores."""
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not sanitized or not _NAME_OK.match(sanitized):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: dict | None, extra: dict | None = None) -> str:
+    merged = dict(labels or {})
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{str(val)}"' for key, val in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus(
+    series: list[tuple[dict, dict]] | dict,
+    namespace: str = "cnvlutin",
+) -> str:
+    """Prometheus text exposition of one or several labelled snapshots.
+
+    ``series`` is either a single snapshot dict, or a list of
+    ``(labels, snapshot)`` pairs — one TYPE declaration per metric
+    family, one sample line per (labels, metric).
+    """
+    if isinstance(series, dict):
+        series = [({}, series)]
+    counter_rows: dict[str, list[str]] = {}
+    gauge_rows: dict[str, list[str]] = {}
+    histogram_rows: dict[str, list[str]] = {}
+
+    for labels, snapshot in series:
+        for name, value in sorted(snapshot.get("counters", {}).items()):
+            family = f"{namespace}_{sanitize_metric_name(name)}_total"
+            counter_rows.setdefault(family, []).append(
+                f"{family}{_format_labels(labels)} {_format_value(value)}"
+            )
+        for name, value in sorted(snapshot.get("gauges", {}).items()):
+            family = f"{namespace}_{sanitize_metric_name(name)}"
+            gauge_rows.setdefault(family, []).append(
+                f"{family}{_format_labels(labels)} {_format_value(value)}"
+            )
+        for name, payload in sorted(snapshot.get("histograms", {}).items()):
+            family = f"{namespace}_{sanitize_metric_name(name)}"
+            rows = histogram_rows.setdefault(family, [])
+            count = int(payload.get("count", 0))
+            buckets = payload.get("buckets") or {}
+            indexed: list[tuple[int, int]] = []
+            for key, bucket_count in buckets.items():
+                try:
+                    indexed.append((int(key), int(bucket_count)))
+                except (TypeError, ValueError):
+                    continue
+            indexed.sort()
+            cumulative = 0
+            for index, bucket_count in indexed:
+                cumulative += bucket_count
+                rows.append(
+                    f"{family}_bucket"
+                    f"{_format_labels(labels, {'le': _format_value(sketch_boundary(index))})}"
+                    f" {cumulative}"
+                )
+            rows.append(
+                f"{family}_bucket{_format_labels(labels, {'le': '+Inf'})} "
+                f"{count}"
+            )
+            rows.append(
+                f"{family}_sum{_format_labels(labels)} "
+                f"{_format_value(payload.get('total', 0.0))}"
+            )
+            rows.append(f"{family}_count{_format_labels(labels)} {count}")
+
+    lines: list[str] = []
+    for family in sorted(counter_rows):
+        lines.append(f"# TYPE {family} counter")
+        lines.extend(counter_rows[family])
+    for family in sorted(gauge_rows):
+        lines.append(f"# TYPE {family} gauge")
+        lines.extend(gauge_rows[family])
+    for family in sorted(histogram_rows):
+        lines.append(f"# TYPE {family} histogram")
+        lines.extend(histogram_rows[family])
+    return "\n".join(lines) + "\n"
+
+
+def _parse_le(labels_text: str) -> str | None:
+    for part in labels_text.strip("{}").split(","):
+        if part.startswith('le="') and part.endswith('"'):
+            return part[4:-1]
+    return None
+
+
+def validate_exposition(text: str) -> list[str]:
+    """Problems (empty list = valid) with Prometheus exposition text."""
+    problems: list[str] = []
+    types: dict[str, str] = {}
+    # family -> labels-without-le -> list of (le, cumulative count)
+    hist_buckets: dict[str, dict[str, list[tuple[float, float]]]] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            fields = line.split()
+            if len(fields) >= 2 and fields[1] not in ("TYPE", "HELP"):
+                problems.append(
+                    f"line {lineno}: unknown comment keyword {fields[1]!r}"
+                )
+            elif fields[1] == "TYPE":
+                if len(fields) != 4 or fields[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped",
+                ):
+                    problems.append(f"line {lineno}: malformed TYPE line")
+                elif not _NAME_OK.match(fields[2]):
+                    problems.append(
+                        f"line {lineno}: bad metric name {fields[2]!r}"
+                    )
+                else:
+                    types[fields[2]] = fields[3]
+            continue
+        match = _SAMPLE.match(line)
+        if not match:
+            problems.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        labels_text = match.group("labels") or ""
+        if labels_text:
+            body = labels_text[1:-1]
+            for part in body.split(","):
+                if part and not _LABEL.match(part.strip()):
+                    problems.append(
+                        f"line {lineno}: malformed label {part!r}"
+                    )
+        raw_value = match.group("value")
+        if raw_value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(raw_value)
+            except ValueError:
+                problems.append(
+                    f"line {lineno}: non-numeric value {raw_value!r}"
+                )
+                continue
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                family = name[: -len(suffix)]
+                break
+        if family not in types:
+            problems.append(
+                f"line {lineno}: sample {name!r} has no preceding TYPE"
+            )
+            continue
+        if types.get(family) == "histogram" and name == family + "_bucket":
+            le = _parse_le(labels_text)
+            if le is None:
+                problems.append(
+                    f"line {lineno}: histogram bucket without le label"
+                )
+                continue
+            bound = float("inf") if le == "+Inf" else float(le)
+            other = ",".join(
+                part for part in labels_text.strip("{}").split(",")
+                if part and not part.startswith('le="')
+            )
+            hist_buckets.setdefault(family, {}).setdefault(other, []).append(
+                (bound, float(raw_value))
+            )
+
+    for family, by_labels in hist_buckets.items():
+        for labels, rows in by_labels.items():
+            where = f"{family}{{{labels}}}" if labels else family
+            if not any(math.isinf(bound) for bound, _ in rows):
+                problems.append(f"{where}: histogram has no +Inf bucket")
+            ordered = sorted(rows)
+            counts = [count for _, count in ordered]
+            if any(b < a for a, b in zip(counts, counts[1:])):
+                problems.append(
+                    f"{where}: cumulative bucket counts are not "
+                    f"monotonically non-decreasing"
+                )
+    return problems

@@ -23,6 +23,7 @@ without rerunning anything.
 
 from __future__ import annotations
 
+import math
 import os
 import threading
 
@@ -33,22 +34,70 @@ __all__ = [
     "reset_metrics",
     "counter_add",
     "gauge_set",
+    "gauge_max",
     "observe",
     "take_snapshot",
     "merge_snapshot",
+    "SKETCH_BUCKETS_PER_OCTAVE",
+    "sketch_index",
+    "sketch_boundary",
 ]
+
+#: Log-bucket sketch resolution: boundaries at ``2 ** (i / 8)``, i.e.
+#: each bucket's upper bound is ~9.05% above the previous one, so any
+#: reported quantile is within one ~9% relative step of the true value.
+SKETCH_BUCKETS_PER_OCTAVE = 8
+
+#: Bucket index clamp.  ``2**(-96/8)`` = ~2.4e-4 and ``2**(384/8)`` =
+#: ~2.8e14 bracket every quantity the repo observes (per-layer seconds
+#: through latency milliseconds through byte counts); out-of-range
+#: values saturate into the edge buckets instead of growing the dict.
+_SKETCH_MIN_INDEX = -96
+_SKETCH_MAX_INDEX = 384
+
+#: Synthetic index for non-positive observations (its "upper boundary"
+#: is 0.0); sorts below every real bucket.
+_SKETCH_ZERO_INDEX = _SKETCH_MIN_INDEX - 1
+
+
+def sketch_index(value: float) -> int:
+    """The fixed log bucket a positive value falls in (deterministic:
+    the boundaries are compile-time constants, never data-adaptive, so
+    two processes always bucket the same value identically)."""
+    if value <= 0.0:
+        return _SKETCH_ZERO_INDEX
+    index = math.ceil(math.log2(value) * SKETCH_BUCKETS_PER_OCTAVE)
+    return max(_SKETCH_MIN_INDEX, min(_SKETCH_MAX_INDEX, index))
+
+
+def sketch_boundary(index: int) -> float:
+    """Upper value boundary of bucket ``index`` (0.0 for the zero bucket)."""
+    if index <= _SKETCH_ZERO_INDEX:
+        return 0.0
+    return 2.0 ** (index / SKETCH_BUCKETS_PER_OCTAVE)
 
 
 class Histogram:
-    """Streaming summary of observed values (count/total/min/max)."""
+    """Streaming summary of observed values.
 
-    __slots__ = ("count", "total", "min", "max")
+    Beyond count/total/min/max, every histogram carries a *fixed-
+    boundary log-bucket quantile sketch*: observations are counted into
+    buckets bounded at ``2 ** (i/8)``.  Because the boundaries are
+    fixed, merging two sketches is exact bucket-count addition —
+    associative and commutative, so quantiles computed after any merge
+    order are identical (the property the multi-process snapshot merge
+    relies on).  :meth:`quantile` answers p50/p95/p99 to within one
+    ~9% bucket step, clamped into the exact observed [min, max].
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.buckets: dict[int, int] = {}
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -58,10 +107,44 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        index = sketch_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile (``q`` in [0, 100]) from the sketch.
+
+        Pre-sketch payloads (a merged snapshot from an old manifest may
+        carry histograms without buckets) degrade to a linear
+        interpolation between the recorded extremes rather than failing.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        population = sum(self.buckets.values())
+        if population == 0:
+            # Tolerant fallback for sketchless (pre-v4) payloads.
+            return self.min + (self.max - self.min) * (q / 100.0)
+        rank = max(1, math.ceil(population * q / 100.0))
+        cumulative = 0
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= rank:
+                bound = sketch_boundary(index)
+                return min(max(bound, self.min), self.max)
+        return self.max  # pragma: no cover - rank <= population
+
+    def percentiles(self) -> dict:
+        """The standard serving digest: p50/p95/p99 (rounded)."""
+        return {
+            "p50": round(self.quantile(50), 3),
+            "p95": round(self.quantile(95), 3),
+            "p99": round(self.quantile(99), 3),
+        }
 
     def to_dict(self) -> dict:
         return {
@@ -69,6 +152,7 @@ class Histogram:
             "total": self.total,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
         }
 
     def merge_dict(self, payload: dict) -> None:
@@ -79,6 +163,24 @@ class Histogram:
         self.total += float(payload.get("total", 0.0))
         self.min = min(self.min, float(payload.get("min", float("inf"))))
         self.max = max(self.max, float(payload.get("max", float("-inf"))))
+        # Tolerant: payloads serialized before the sketch existed simply
+        # have no buckets; quantiles then cover the sketched population.
+        for key, value in (payload.get("buckets") or {}).items():
+            try:
+                index = int(key)
+                value = int(value)
+            except (TypeError, ValueError):
+                continue
+            if value > 0:
+                self.buckets[index] = self.buckets.get(index, 0) + value
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Histogram":
+        """Rebuild a histogram (sketch included) from its payload."""
+        histogram = cls()
+        if isinstance(payload, dict):
+            histogram.merge_dict(payload)
+        return histogram
 
 
 class MetricsRegistry:
@@ -100,6 +202,18 @@ class MetricsRegistry:
     def gauge_set(self, name: str, value: float) -> None:
         with self._lock:
             self.gauges[name] = float(value)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """High-watermark gauge: keep the maximum ever stated.
+
+        Name the gauge with a ``.max`` suffix — snapshot merges combine
+        ``.max`` gauges by maximum (not last-wins), so a watermark
+        survives being merged across processes and telemetry windows.
+        """
+        value = float(value)
+        with self._lock:
+            if value > self.gauges.get(name, float("-inf")):
+                self.gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
         with self._lock:
@@ -130,13 +244,17 @@ class MetricsRegistry:
 
     def merge_snapshot(self, snapshot: dict) -> None:
         """Fold another registry's snapshot in (counters/histograms sum,
-        gauges last-wins — they restate derived facts idempotently)."""
+        gauges last-wins — they restate derived facts idempotently —
+        except ``.max``-suffixed high-watermark gauges, which merge by
+        maximum so a watermark never shrinks across processes)."""
         if not snapshot:
             return
         with self._lock:
             for name, value in snapshot.get("counters", {}).items():
                 self.counters[name] = self.counters.get(name, 0.0) + value
             for name, value in snapshot.get("gauges", {}).items():
+                if name.endswith(".max"):
+                    value = max(value, self.gauges.get(name, float("-inf")))
                 self.gauges[name] = value
             for name, payload in snapshot.get("histograms", {}).items():
                 histogram = self.histograms.get(name)
@@ -180,6 +298,10 @@ def counter_add(name: str, amount: float = 1.0) -> None:
 
 def gauge_set(name: str, value: float) -> None:
     _REGISTRY.gauge_set(name, value)
+
+
+def gauge_max(name: str, value: float) -> None:
+    _REGISTRY.gauge_max(name, value)
 
 
 def observe(name: str, value: float) -> None:

@@ -1,8 +1,9 @@
 """``repro-obs`` — render observability reports from run manifests.
 
 Answers "where did the time go and how did the caches behave" from any
-saved run manifest (schema v3; v2 manifests load with empty metrics)
-without rerunning a single experiment::
+saved run manifest (schema v4; older manifests load tolerantly — v2
+with empty metrics, v3 without quantile sketches) without rerunning a
+single experiment::
 
     repro-obs report manifest.json
     repro-obs report manifest.json --top 10
@@ -27,7 +28,15 @@ metrics snapshot the run serialized (see :mod:`repro.obs.metrics`):
   distribution, and the shared-weight arena size;
 * an integrity summary (``integrity.*``, when present): ABFT / CRC
   check and detection counts, quarantines by reason, arena republishes,
-  canary probes, injected weight flips, and stale arenas swept.
+  canary probes, injected weight flips, and stale arenas swept;
+* an SLO summary (``slo.*``, when present): declared objective targets
+  vs observed values, error-budget burn rates, breach counts, and the
+  router health line (live shards, deaths/respawns, quarantines, queue
+  depth high watermark).
+
+Serving latency lines include p50/p95/p99 wherever the manifest's
+histograms carry the quantile sketch (v4+); pre-sketch manifests keep
+their mean/max lines.
 
 The experiment runner's ``--metrics`` flag prints the same report for
 the run it just finished.
@@ -39,6 +48,8 @@ import argparse
 import json
 import sys
 from pathlib import Path
+
+from repro.obs.metrics import Histogram
 
 __all__ = ["metrics_report", "main"]
 
@@ -189,6 +200,20 @@ def metrics_report(manifest: dict, top: int = 15) -> str:
             float(latency_hist.get("total", 0.0)) / latency_count
             if latency_count else 0.0
         )
+        # Quantiles only when the payload carries the sketch (v4+
+        # manifests); pre-sketch manifests keep the mean/max line.
+        quantiles = ""
+        if latency_hist.get("buckets"):
+            digest = Histogram.from_dict(latency_hist).percentiles()
+            quantiles = (
+                f"p50 {digest['p50']:.1f} / p95 {digest['p95']:.1f} / "
+                f"p99 {digest['p99']:.1f} ms, "
+            )
+        queue_line = (
+            f"queue depth last {gauges.get('serve.queue_depth', 0):.0f}"
+        )
+        if "serve.queue_depth.max" in gauges:
+            queue_line += f" (max {gauges['serve.queue_depth.max']:.0f})"
         parts.append(
             "\n-- serving --\n"
             f"requests: {serve_requests:.0f} "
@@ -199,9 +224,9 @@ def metrics_report(manifest: dict, top: int = 15) -> str:
             f"batches: {batches:.0f} "
             f"(mean size {mean_batch:.1f}, max {batch_hist.get('max', 0):.0f}; "
             f"retries {counters.get('serve.retries', 0):.0f})\n"
-            f"latency: mean {mean_latency:.1f} ms, "
+            f"latency: mean {mean_latency:.1f} ms, {quantiles}"
             f"max {latency_hist.get('max', 0.0):.1f} ms; "
-            f"queue depth last {gauges.get('serve.queue_depth', 0):.0f}"
+            f"{queue_line}"
         )
 
     router_requests = counters.get("router.requests", 0)
@@ -231,8 +256,16 @@ def metrics_report(manifest: dict, top: int = 15) -> str:
             f"{counters.get('router.deaths', 0):.0f} deaths, "
             f"{counters.get('router.respawns', 0):.0f} respawns; "
             f"live shards {gauges.get('router.live_shards', 0):.0f}\n"
-            f"forward: mean {mean_forward:.1f} ms, "
-            f"max {forward_hist.get('max', 0.0):.1f} ms "
+            + (
+                "forward: mean {mean:.1f} ms, p50 {p50:.1f} / "
+                "p95 {p95:.1f} / p99 {p99:.1f} ms, ".format(
+                    mean=mean_forward,
+                    **Histogram.from_dict(forward_hist).percentiles(),
+                )
+                if forward_hist.get("buckets")
+                else f"forward: mean {mean_forward:.1f} ms, "
+            )
+            + f"max {forward_hist.get('max', 0.0):.1f} ms "
             f"(shared weights: "
             f"{counters.get('engine.shared.attached', 0):.0f} attach(es), "
             f"{counters.get('engine.shared.bytes', 0) / 1e6:.1f} MB arena)"
@@ -266,6 +299,39 @@ def metrics_report(manifest: dict, top: int = 15) -> str:
             f"{counters.get('integrity.faults.weight_flips', 0):.0f}; "
             f"stale arenas swept: "
             f"{counters.get('integrity.arena.swept', 0):.0f}"
+        )
+
+    slo_names = sorted(
+        name[len("slo."):-len(".value")]
+        for name in gauges
+        if name.startswith("slo.") and name.endswith(".value")
+    )
+    if slo_names:
+        slo_rows = []
+        for name in slo_names:
+            burn = gauges.get(f"slo.{name}.burn_rate", 0.0)
+            slo_rows.append(
+                {
+                    "objective": name,
+                    "value": gauges.get(f"slo.{name}.value", 0.0),
+                    "target": gauges.get(f"slo.{name}.target", 0.0),
+                    "burn_rate": burn,
+                    "breaches": int(
+                        counters.get(f"slo.{name}.breaches", 0)
+                    ),
+                    "status": "ok" if burn <= 1.0 else "BURNING",
+                }
+            )
+        parts.append("\n-- slo --")
+        parts.append(_format_table(slo_rows))
+        parts.append(
+            f"health: live shards "
+            f"{gauges.get('router.live_shards', 0):.0f}; "
+            f"deaths {counters.get('router.deaths', 0):.0f}, "
+            f"respawns {counters.get('router.respawns', 0):.0f}, "
+            f"quarantines {counters.get('integrity.quarantines', 0):.0f}; "
+            f"queue depth max "
+            f"{gauges.get('serve.queue_depth.max', 0):.0f}"
         )
 
     sparse_gemms = counters.get("engine.sparse.gemms.sparse", 0)

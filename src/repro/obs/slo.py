@@ -1,0 +1,247 @@
+"""Service-level objectives over the metrics namespace.
+
+Declares what "healthy" means for the serving tier — latency quantile
+targets and error/shed rate ceilings — and evaluates them against any
+metrics snapshot (live telemetry window, cumulative totals, or a saved
+manifest).  Every evaluation is recorded back into the metrics
+namespace so SLO state travels with the run:
+
+* ``slo.<name>.value`` / ``slo.<name>.target`` — observed vs declared;
+* ``slo.<name>.burn_rate`` — how fast the error budget is being spent:
+  1.0 means exactly at budget, 2.0 means burning twice the allowance
+  (for a latency objective the budget is the allowed violation
+  fraction, e.g. p99 ≤ T allows 1% of requests above T; for a rate
+  objective it is the declared ceiling itself);
+* ``slo.<name>.breaches`` — a counter bumped once per evaluation that
+  found the objective out of budget.
+
+Latency objectives read the histogram quantile sketch
+(:class:`~repro.obs.metrics.Histogram`), and compute the violating
+fraction from the same buckets — the partially-violating boundary
+bucket counts as violating, so burn rates err pessimistic by at most
+one ~9% bucket step.  ``repro-obs report`` renders the ``slo.*``
+section from the recorded gauges alone, so reports over old manifests
+simply omit it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.metrics import Histogram, MetricsRegistry, sketch_boundary
+
+__all__ = [
+    "LatencyObjective",
+    "RateObjective",
+    "SloStatus",
+    "SloTracker",
+    "default_serving_objectives",
+    "parse_slo_spec",
+    "violating_fraction",
+]
+
+
+@dataclass(frozen=True)
+class LatencyObjective:
+    """``quantile`` of ``histogram`` must stay at or below ``threshold``."""
+
+    name: str
+    histogram: str
+    quantile: float
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile < 100.0:
+            raise ValueError("quantile must be in (0, 100)")
+        if self.threshold <= 0.0:
+            raise ValueError("threshold must be positive")
+
+
+@dataclass(frozen=True)
+class RateObjective:
+    """``numerator / denominator`` must stay at or below ``target``."""
+
+    name: str
+    numerator: str
+    denominator: str
+    target: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target <= 1.0:
+            raise ValueError("target must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class SloStatus:
+    name: str
+    kind: str  # "latency" | "rate"
+    value: float
+    target: float
+    burn_rate: float
+    healthy: bool
+    observed: float  # observations the verdict is based on
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "value": round(self.value, 4),
+            "target": self.target,
+            "burn_rate": round(self.burn_rate, 3),
+            "healthy": self.healthy,
+            "observed": self.observed,
+        }
+
+
+def violating_fraction(payload: dict, threshold: float) -> float:
+    """Fraction of sketched observations above ``threshold``.
+
+    A bucket straddling the threshold counts as violating in full
+    (pessimistic by at most one bucket's population).  Sketchless
+    payloads fall back on the recorded max: 0.0 when ``max`` honours
+    the threshold, else unknown-but-nonzero, reported as 1.0 so the
+    breach is visible rather than silently absorbed.
+    """
+    count = int(payload.get("count", 0))
+    if count <= 0:
+        return 0.0
+    buckets = payload.get("buckets") or {}
+    population = 0
+    violating = 0
+    for key, bucket_count in buckets.items():
+        try:
+            index = int(key)
+            bucket_count = int(bucket_count)
+        except (TypeError, ValueError):
+            continue
+        population += bucket_count
+        if sketch_boundary(index) > threshold:
+            violating += bucket_count
+    if population == 0:
+        return 0.0 if float(payload.get("max", 0.0)) <= threshold else 1.0
+    return violating / population
+
+
+class SloTracker:
+    """Evaluates declared objectives against metrics snapshots."""
+
+    def __init__(
+        self,
+        objectives: list[LatencyObjective | RateObjective],
+    ) -> None:
+        names = [objective.name for objective in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names in {names}")
+        self.objectives = list(objectives)
+
+    def evaluate(self, snapshot: dict) -> list[SloStatus]:
+        counters = snapshot.get("counters", {})
+        histograms = snapshot.get("histograms", {})
+        statuses: list[SloStatus] = []
+        for objective in self.objectives:
+            if isinstance(objective, LatencyObjective):
+                payload = histograms.get(objective.histogram, {})
+                histogram = Histogram.from_dict(payload)
+                value = histogram.quantile(objective.quantile)
+                allowed = 1.0 - objective.quantile / 100.0
+                burn = (
+                    violating_fraction(payload, objective.threshold) / allowed
+                )
+                statuses.append(
+                    SloStatus(
+                        name=objective.name,
+                        kind="latency",
+                        value=value,
+                        target=objective.threshold,
+                        burn_rate=burn,
+                        healthy=burn <= 1.0,
+                        observed=histogram.count,
+                    )
+                )
+            else:
+                denominator = float(counters.get(objective.denominator, 0.0))
+                numerator = float(counters.get(objective.numerator, 0.0))
+                value = numerator / denominator if denominator else 0.0
+                statuses.append(
+                    SloStatus(
+                        name=objective.name,
+                        kind="rate",
+                        value=value,
+                        target=objective.target,
+                        burn_rate=value / objective.target,
+                        healthy=value <= objective.target,
+                        observed=denominator,
+                    )
+                )
+        return statuses
+
+    def record(
+        self, snapshot: dict, registry: MetricsRegistry
+    ) -> list[SloStatus]:
+        """Evaluate and write the ``slo.*`` gauges/counters back."""
+        statuses = self.evaluate(snapshot)
+        for status in statuses:
+            prefix = f"slo.{status.name}"
+            registry.gauge_set(f"{prefix}.value", round(status.value, 4))
+            registry.gauge_set(f"{prefix}.target", status.target)
+            registry.gauge_set(
+                f"{prefix}.burn_rate", round(status.burn_rate, 3)
+            )
+            if not status.healthy:
+                registry.counter_add(f"{prefix}.breaches")
+        return statuses
+
+
+def default_serving_objectives(
+    latency_p99_ms: float = 500.0,
+    error_rate: float = 0.01,
+    shed_rate: float = 0.05,
+) -> list[LatencyObjective | RateObjective]:
+    """The stock serving-tier SLOs (overridable via ``--slo``)."""
+    return [
+        LatencyObjective(
+            name="latency_p99_ms",
+            histogram="serve.latency_ms",
+            quantile=99.0,
+            threshold=latency_p99_ms,
+        ),
+        RateObjective(
+            name="error_rate",
+            numerator="serve.errors",
+            denominator="serve.requests",
+            target=error_rate,
+        ),
+        RateObjective(
+            name="shed_rate",
+            numerator="serve.shed",
+            denominator="serve.requests",
+            target=shed_rate,
+        ),
+    ]
+
+
+def parse_slo_spec(spec: str) -> list[LatencyObjective | RateObjective]:
+    """Objectives from a ``--slo`` string.
+
+    Comma-separated ``key=value`` pairs over the stock serving
+    objectives: ``latency_p99_ms=250,error_rate=0.001,shed_rate=0.02``.
+    """
+    overrides: dict[str, float] = {}
+    for field in spec.split(","):
+        field = field.strip()
+        if not field:
+            continue
+        key, sep, raw = field.partition("=")
+        key = key.strip()
+        if not sep or key not in (
+            "latency_p99_ms", "error_rate", "shed_rate",
+        ):
+            raise ValueError(
+                f"bad --slo field {field!r} (want "
+                f"latency_p99_ms=<ms>, error_rate=<frac>, shed_rate=<frac>)"
+            )
+        try:
+            overrides[key] = float(raw)
+        except ValueError:
+            raise ValueError(f"bad --slo value {raw!r} for {key}") from None
+    return default_serving_objectives(**overrides)

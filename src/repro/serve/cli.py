@@ -20,7 +20,20 @@ an in-process service.
         repro-serve loadgen --requests 50 --scale tiny \\
             --networks alex,cnnS --deterministic --json serve-report.json
 
-Both subcommands accept ``--shards N`` to run the sharded tier instead
+``top``
+    Terminal dashboard polling a running admin endpoint
+    (``repro-serve top --port <admin-port>``): rolling-window
+    throughput, p50/p95/p99 per source, SLO burn rates, shard health.
+
+Live telemetry: ``--telemetry-interval S`` (default 1s) samples local
+metrics — and, with ``--shards``, streams per-shard metric deltas over
+the control sockets — into a rolling window; ``--admin-port PORT``
+exposes it over HTTP as ``/stats`` (JSON), ``/metrics`` (Prometheus
+text exposition), ``/slo``, and ``/healthz``; ``--slo SPEC`` overrides
+the declared objectives.
+
+Both ``serve`` and ``loadgen`` accept ``--shards N`` to run the sharded
+tier instead
 of a single in-process service: N shard processes behind a
 consistent-hash router with shared-memory weights, failover, and
 respawn (see :mod:`repro.serve.router`).  ``loadgen --sweep-groups K``
@@ -54,8 +67,10 @@ import signal
 import sys
 
 from repro.nn.models import network_names
+from repro.obs.slo import parse_slo_spec
 from repro.reliability import RetryPolicy
 from repro.reliability.integrity import INTEGRITY_ENV, RECHECK_ENV
+from repro.serve.admin import AdminServer
 from repro.serve.loadgen import (
     build_requests,
     build_sweep_requests,
@@ -70,6 +85,7 @@ from repro.serve.requests import (
 )
 from repro.serve.router import ShardedService, ShardTierConfig
 from repro.serve.service import InferenceService, ServeConfig
+from repro.serve.telemetry import TelemetryController
 
 __all__ = ["main"]
 
@@ -139,6 +155,20 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
                         "(raise to ride out shard quarantine/respawn)")
     parser.add_argument("--forward-backoff", type=float, default=None,
                         metavar="S", help="router forward retry backoff cap")
+    parser.add_argument("--admin-port", type=int, default=None, metavar="PORT",
+                        help="serve live telemetry over HTTP: /stats (JSON), "
+                        "/metrics (Prometheus text), /slo, /healthz "
+                        "(0 picks a free port)")
+    parser.add_argument("--admin-host", default="127.0.0.1",
+                        help="admin endpoint bind address (default loopback)")
+    parser.add_argument("--telemetry-interval", type=float, default=1.0,
+                        metavar="S", help="seconds between local telemetry "
+                        "samples and per-shard metric-delta pushes "
+                        "(0 disables streaming telemetry)")
+    parser.add_argument("--slo", default=None, metavar="SPEC",
+                        help="SLO overrides, comma-separated: "
+                        "latency_p99_ms=<ms>,error_rate=<frac>,"
+                        "shed_rate=<frac>")
 
 
 def _service_config(args) -> ServeConfig:
@@ -176,6 +206,7 @@ def _build_service(args, trace: bool = False):
         integrity=args.integrity,
         integrity_recheck_s=args.integrity_recheck_s,
         canary_interval_s=args.canary_interval,
+        telemetry_interval_s=args.telemetry_interval or None,
     )
     policy = None
     if args.forward_attempts is not None or args.forward_backoff is not None:
@@ -194,9 +225,53 @@ def _build_service(args, trace: bool = False):
     return ShardedService(config, tier=tier, policy=policy)
 
 
+async def _start_telemetry(service, args):
+    """(controller, admin) for a started service, per the CLI flags.
+
+    The controller samples the local registry on ``--telemetry-interval``
+    and — for the sharded tier — shares the router's
+    :class:`~repro.obs.timeseries.TelemetryPlane`, so streamed shard
+    deltas and local samples land in one windowed view.  The admin
+    server only exists under ``--admin-port``.
+    """
+    if not args.telemetry_interval and args.admin_port is None:
+        return None, None
+    plane = getattr(service, "telemetry", None)
+    controller = TelemetryController(
+        plane=plane,
+        interval_s=args.telemetry_interval or 1.0,
+        source="router" if plane is not None else "service",
+        objectives=parse_slo_spec(args.slo) if args.slo else None,
+    )
+    controller.start()
+    admin = None
+    if args.admin_port is not None:
+        admin = AdminServer(
+            controller, host=args.admin_host, port=args.admin_port
+        )
+        await admin.start()
+        print(
+            f"repro-serve admin on http://{args.admin_host}:{admin.port} "
+            f"(/stats /metrics /slo /healthz)",
+            flush=True,
+        )
+    return controller, admin
+
+
+async def _stop_telemetry(controller, admin) -> None:
+    """Tear telemetry down — call *before* ``service.stop()`` so the
+    final local sample precedes the shard-metrics fold (see
+    :mod:`repro.serve.telemetry` on stop ordering)."""
+    if admin is not None:
+        await admin.stop()
+    if controller is not None:
+        await controller.stop()
+
+
 async def _serve_async(args) -> int:
     service = _build_service(args)
     await service.start()
+    controller, admin = await _start_telemetry(service, args)
     served = 0
     done = asyncio.Event()
     stopping = asyncio.Event()
@@ -278,6 +353,7 @@ async def _serve_async(args) -> int:
                 writer.close()
             except Exception:  # pragma: no cover - already-dead transport
                 pass
+        await _stop_telemetry(controller, admin)
         await service.stop()
         if stopping.is_set():
             print(f"repro-serve drained after {served} requests", flush=True)
@@ -310,6 +386,7 @@ async def _loadgen_async(args) -> int:
             deadline_ms=args.deadline_ms,
         )
     await service.start()
+    controller, admin = await _start_telemetry(service, args)
     try:
         result = await run_load(
             service, requests, rate=args.rate, seed=args.seed
@@ -320,7 +397,16 @@ async def _loadgen_async(args) -> int:
                 service, requests, result
             )
     finally:
+        await _stop_telemetry(controller, admin)
         await service.stop()
+    if controller is not None:
+        # Post-stop: the final sample and the shard fold both landed, so
+        # this is the whole run's SLO verdict (and it re-records the
+        # slo.* gauges over the complete totals for the --json report).
+        statuses = controller.tracker.record(
+            obs.get_metrics().snapshot(), obs.get_metrics()
+        )
+        summary["slo"] = [status.to_dict() for status in statuses]
     print(json.dumps(summary, indent=2))
     if args.json:
         report = {
@@ -351,6 +437,89 @@ async def _loadgen_async(args) -> int:
         print(f"wrote trace {args.trace} ({written} events)")
     failed = summary["error"] or summary.get("byte_mismatches", 0)
     return 1 if failed else 0
+
+
+def _fetch_stats(url: str) -> dict:
+    from urllib.request import urlopen
+
+    with urlopen(url, timeout=5.0) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _render_top(stats: dict) -> str:
+    """One terminal frame of the live stats payload."""
+    def digest_line(label: str, digest: dict | None) -> str:
+        digest = digest or {}
+        return (
+            f"{label:<12} p50 {digest.get('p50', 0.0):>9.2f}  "
+            f"p95 {digest.get('p95', 0.0):>9.2f}  "
+            f"p99 {digest.get('p99', 0.0):>9.2f}  "
+            f"max {digest.get('max', 0.0):>9.2f}  "
+            f"n {digest.get('count', 0):.0f}"
+        )
+
+    window = stats.get("window", {})
+    health = stats.get("health", {})
+    lines = [
+        f"cnvlutin serving — up {stats.get('uptime_s', 0.0):.0f}s, "
+        f"window {window.get('span_s', 0.0):.1f}s @ "
+        f"{window.get('throughput_rps', 0.0):.1f} rps, "
+        f"shards {health.get('live_shards', 0)} live / "
+        f"{health.get('reporting_shards', 0)} reporting, "
+        f"deaths {health.get('deaths', 0)}, "
+        f"respawns {health.get('respawns', 0)}, "
+        f"quarantines {health.get('quarantines', 0)}",
+        "",
+        "latency (ms)",
+        digest_line("  total", stats.get("latency_ms")),
+        digest_line("  window", window.get("latency_ms")),
+        "",
+        "sources",
+    ]
+    for name, info in sorted(stats.get("sources", {}).items()):
+        digest = info.get("latency_ms") or {}
+        mode = "local" if info.get("local") else "push"
+        lines.append(
+            f"  {name:<10} {mode:<6} age {info.get('age_s', 0.0):>6.1f}s  "
+            f"req {info.get('requests', 0.0):>9.0f}  "
+            f"p50 {digest.get('p50', 0.0):>9.2f}  "
+            f"p99 {digest.get('p99', 0.0):>9.2f}"
+        )
+    slo = stats.get("slo", [])
+    if slo:
+        lines.append("")
+        lines.append("slo")
+        for status in slo:
+            verdict = "ok" if status.get("healthy") else "BURNING"
+            lines.append(
+                f"  {status.get('name', '?'):<16} {verdict:<8} "
+                f"value {status.get('value', 0.0):<12.4g} "
+                f"target {status.get('target', 0.0):<12.4g} "
+                f"burn {status.get('burn_rate', 0.0):.2f}"
+            )
+    watermarks = stats.get("watermarks", {})
+    depth = watermarks.get("serve.queue_depth.max")
+    if depth is not None:
+        lines.append("")
+        lines.append(f"queue depth high watermark: {depth:.0f}")
+    return "\n".join(lines)
+
+
+async def _top_async(args) -> int:
+    url = f"http://{args.host}:{args.port}/stats"
+    while True:
+        try:
+            stats = await asyncio.to_thread(_fetch_stats, url)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {url}: {exc}", file=sys.stderr)
+            return 2
+        frame = _render_top(stats)
+        if args.once:
+            print(frame)
+            return 0
+        # ANSI clear + home: a cheap full-screen refresh, like top(1).
+        print(f"\x1b[2J\x1b[H{frame}", flush=True)
+        await asyncio.sleep(args.interval)
 
 
 async def _verify_bytes(service, requests, result) -> int:
@@ -414,6 +583,18 @@ def main(argv: list[str] | None = None) -> int:
                          help="record spans and write a Chrome trace")
     _add_service_args(loadgen)
     loadgen.set_defaults(runner=_loadgen_async)
+
+    top = sub.add_parser(
+        "top", help="terminal view polling a running admin endpoint"
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, required=True,
+                     help="admin endpoint port (--admin-port of the server)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="refresh period in seconds")
+    top.add_argument("--once", action="store_true",
+                     help="print one frame and exit (no screen clearing)")
+    top.set_defaults(runner=_top_async)
 
     args = parser.parse_args(argv)
     return asyncio.run(args.runner(args))

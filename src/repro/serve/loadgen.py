@@ -238,6 +238,7 @@ def _shard_breakdown(result: LoadResult) -> dict[str, dict]:
             "timeout": statuses.get("timeout", 0),
             "error": statuses.get("error", 0),
             "p50_ms": round(percentile(latencies, 50), 3),
+            "p95_ms": round(percentile(latencies, 95), 3),
             "p99_ms": round(percentile(latencies, 99), 3),
         }
     return breakdown
@@ -266,6 +267,7 @@ def summarize(result: LoadResult) -> dict:
         "latency_ms": {
             "p50": round(percentile(latencies, 50), 3),
             "p90": round(percentile(latencies, 90), 3),
+            "p95": round(percentile(latencies, 95), 3),
             "p99": round(percentile(latencies, 99), 3),
             "max": round(latencies[-1], 3) if latencies else 0.0,
         },

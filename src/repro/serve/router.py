@@ -73,6 +73,7 @@ from pathlib import Path
 from repro import obs
 from repro.experiments.context import ExperimentContext
 from repro.nn.shm import SharedWeightArena, sweep_stale_arenas
+from repro.obs.timeseries import TelemetryPlane
 from repro.reliability import (
     FaultInjector,
     InjectedFault,
@@ -121,6 +122,10 @@ class ShardTierConfig:
     #: response bytes probed on every live shard); None disables the
     #: background loop — ``run_canary()`` can still be called directly.
     canary_interval_s: float | None = None
+    #: Seconds between each shard's unsolicited telemetry pushes of
+    #: metric deltas over the control socket (None = no streaming; the
+    #: stop-time ``op: obs`` pull remains the only metrics hand-off).
+    telemetry_interval_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -285,6 +290,10 @@ class ShardedService:
         self._stopping = False
         self._quarantined: set[int] = set()
         self._golden: dict[str, bytes] = {}
+        # Always present (ingestion is cheap and only happens when
+        # shards actually push): the windowed aggregation of streamed
+        # shard deltas the admin endpoint reads.
+        self.telemetry = TelemetryPlane()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -315,6 +324,7 @@ class ShardedService:
             fault_seed=self.tier.fault_seed,
             integrity=self.tier.integrity,
             integrity_recheck_s=self.tier.integrity_recheck_s,
+            telemetry_interval_s=self.tier.telemetry_interval_s,
         )
 
     def _spawn(self, index: int) -> _ShardClient:
@@ -341,7 +351,7 @@ class ShardedService:
             *(
                 client.connect(
                     self.tier.connect_timeout_s, self._shard_down,
-                    self._integrity_event,
+                    self._shard_event,
                 )
                 for client in clients
             )
@@ -371,6 +381,11 @@ class ShardedService:
             task.cancel()
         await asyncio.gather(*self._background, return_exceptions=True)
         self.collected = await self.collect_obs()
+        # Streamed telemetry reached only the windowed plane during the
+        # run; fold each shard's cumulative into the global registry now
+        # (shards reset on every push, so the op:obs pull above shipped
+        # only the residual since their last push — totals stay exact).
+        self.telemetry.fold_into(obs.get_metrics())
         for client in self._clients.values():
             if client.alive:
                 try:
@@ -504,7 +519,7 @@ class ShardedService:
                 try:
                     with obs.span(
                         "router.forward", cat="serve",
-                        shard=target, attempt=attempt,
+                        shard=target, attempt=attempt, req=request.id,
                     ):
                         envelope = await client.call(
                             {"req": payload},
@@ -590,7 +605,7 @@ class ShardedService:
         try:
             await client.connect(
                 self.tier.connect_timeout_s, self._shard_down,
-                self._integrity_event,
+                self._shard_event,
             )
         except (TimeoutError, OSError):
             await client.close()
@@ -607,9 +622,22 @@ class ShardedService:
     # ------------------------------------------------------------------
     # integrity: quarantine, republish, canary
     # ------------------------------------------------------------------
-    def _integrity_event(self, client: _ShardClient, envelope: dict) -> None:
+    def _shard_event(self, client: _ShardClient, envelope: dict) -> None:
         """Reader-loop callback: a shard pushed an ``evt`` envelope."""
-        if envelope.get("evt") != "integrity" or self._stopping:
+        if self._stopping:
+            return
+        evt = envelope.get("evt")
+        if evt == "telemetry":
+            # Streamed metric delta: aggregate into the windowed plane
+            # only — never straight into the global registry, which gets
+            # the plane's fold exactly once at stop (no double counting).
+            self.telemetry.ingest(
+                f"shard{envelope.get('shard', client.index)}",
+                envelope.get("metrics") or {},
+                seq=envelope.get("seq"),
+            )
+            return
+        if evt != "integrity":
             return
         reason = envelope.get("reason", "unknown")
         obs.counter_add(f"integrity.detected.{reason}")

@@ -36,7 +36,8 @@ clock are ever taken.
 Every stage reports to :mod:`repro.obs`: ``serve.requests`` /
 ``serve.shed`` / ``serve.timeouts`` / ``serve.errors`` /
 ``serve.completed`` / ``serve.batches`` / ``serve.retries`` counters,
-``serve.queue_depth`` gauge, ``serve.batch_size`` and
+``serve.queue_depth`` gauge (plus its ``serve.queue_depth.max`` high
+watermark), ``serve.batch_size`` and
 ``serve.latency_ms`` histograms, and a ``serve.batch`` span per executed
 batch — all rendered by ``repro-obs report``.
 """
@@ -244,7 +245,9 @@ class InferenceService:
                 network=request.network,
                 payload={"error": "queue full", "queue_limit": self.config.queue_limit},
             )
-        obs.gauge_set("serve.queue_depth", state.queue.qsize())
+        depth = state.queue.qsize()
+        obs.gauge_set("serve.queue_depth", depth)
+        obs.gauge_max("serve.queue_depth.max", depth)
         self._pending.add(entry.future)
         entry.future.add_done_callback(self._pending.discard)
         return entry.future
@@ -275,7 +278,9 @@ class InferenceService:
                     await state.batches.put(batch)
                 continue
             if entry is not None:
-                obs.gauge_set("serve.queue_depth", state.queue.qsize())
+                depth = state.queue.qsize()
+                obs.gauge_set("serve.queue_depth", depth)
+                obs.gauge_max("serve.queue_depth.max", depth)
                 batch = self.batcher.add(entry, loop.time())
                 if batch is not None:
                     await state.batches.put(batch)
@@ -336,6 +341,7 @@ class InferenceService:
         with obs.span(
             "serve.batch", cat="serve", network=batch.network,
             size=len(live), reason=batch.reason,
+            req_ids=[entry.request.id for entry in live],
         ):
             while True:
                 try:

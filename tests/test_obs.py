@@ -19,7 +19,7 @@ from repro.experiments.config import PaperConfig
 from repro.experiments.manifest import RunManifest, UnitRecord
 from repro.experiments.report import results_to_json_doc
 from repro.experiments.runner import run_all_with_manifest
-from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.metrics import Histogram, MetricsRegistry, sketch_index
 from repro.obs.report import main as obs_main
 from repro.obs.report import metrics_report
 from repro.reliability import RetryPolicy
@@ -172,6 +172,9 @@ class TestMetricsRegistry:
         assert merged["gauges"]["profile"] == 10.0
         assert merged["histograms"]["latency"] == {
             "count": 2, "total": 4.0, "min": 1.0, "max": 3.0,
+            "buckets": {
+                str(sketch_index(1.0)): 1, str(sketch_index(3.0)): 1,
+            },
         }
 
     def test_empty_histogram_merge_is_a_noop(self):
@@ -202,7 +205,7 @@ class TestManifestSchema:
         path = tmp_path / "manifest.json"
         manifest.save(path)
         payload = json.loads(path.read_text())
-        assert payload["version"] == 3
+        assert payload["version"] == 4
         loaded = RunManifest.load(path)
         assert loaded.metrics["counters"]["engine.cache.hits"] == 3.0
 
@@ -373,7 +376,7 @@ class TestObsReportCli:
     def test_report_renders_all_sections(self):
         report = metrics_report(self.make_manifest_dict())
         assert "obs report" in report
-        assert "manifest v3" in report
+        assert "manifest v4" in report
         assert "fig1:alex" in report
         assert "conv1" in report
         assert "engine cache: 10 hits / 5 misses" in report

@@ -2,10 +2,11 @@
 
 The report renderer is the operator-facing view of every metric
 namespace the repo emits (engine cache, artifact cache, per-layer
-forward time, retries/faults, and the ``serve.*`` serving summary).  A
-hand-written schema-v3 manifest fixture exercises every section at
-once; this test pins the rendered text byte for byte so formatting or
-aggregation drift is a deliberate, reviewed change.
+forward time, retries/faults, the ``serve.*`` serving summary with
+sketch quantiles, the sharded-router summary, and the ``slo.*``
+objective table).  A hand-written schema-v4 manifest fixture exercises
+every section at once; this test pins the rendered text byte for byte
+so formatting or aggregation drift is a deliberate, reviewed change.
 
 Refresh after an intentional change with::
 
@@ -60,11 +61,17 @@ def test_report_covers_every_section():
         "-- forward compute by network",
         "-- caches --",
         "-- serving --",
+        "-- sharded serving --",
+        "-- slo --",
         "-- retries / faults --",
     ):
         assert heading in text, f"fixture no longer exercises {heading!r}"
     assert "shed rate 8%" in text
     assert "pool:worker: 1" in text
+    # v4 sketch quantiles and the queue-depth watermark render too.
+    assert "p50" in text and "p99" in text
+    assert "queue depth last 3 (max 11)" in text
+    assert "BURNING" in text
 
 
 def test_report_cli_prints_the_same_text(capsys):

@@ -292,7 +292,7 @@ class TestRunManifest:
         loaded = RunManifest.load(path)
         assert loaded.to_dict() == manifest.to_dict()
         payload = json.loads(path.read_text())
-        assert payload["version"] == 3
+        assert payload["version"] == 4
         assert payload["cache"]["hit_rate"] == pytest.approx(0.7)
 
     def test_profile_table_sorted_by_wall_time(self):

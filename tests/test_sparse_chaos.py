@@ -59,7 +59,7 @@ class TestSparseChaosPipeline:
             tiny_config(tmp_path), only=["fig1"], verbose=False
         )
         payload = manifest.to_dict()
-        assert json.loads(json.dumps(payload))["version"] == 3
+        assert json.loads(json.dumps(payload))["version"] == 4
 
         counters = payload["metrics"]["counters"]
         assert counters["engine.sparse.gemms.sparse"] >= 1
