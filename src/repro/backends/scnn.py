@@ -1,0 +1,221 @@
+"""Analytic timing model of an SCNN-style compressed-sparse accelerator.
+
+SCNN (Parashar et al., ISCA 2017) stores both weights and activations
+compressed and computes the *Cartesian product* of the non-zero weight
+vector and non-zero activation vector of each input channel: every
+multiplication performed is effectual (both operands non-zero), and
+output coordinates are reconstructed from the operand indices, with
+products scattered into a banked accumulator array.
+
+This model keeps the node budget of the repo's other backends —
+``num_units`` PEs, ``multipliers_per_unit`` multipliers each (at the
+paper config 16 x 256 = 4096 multipliers, identical to DaDianNao's
+array) — and computes, per conv layer:
+
+* **Effectual products** ``E``: for every kernel position (fy, fx) and
+  input channel z, (# filters with a non-zero weight at (z, fy, fx)) x
+  (# *valid* output positions whose input activation at that offset is
+  non-zero).  Valid-output pairs only: products that would land outside
+  the output plane (the halo SCNN discards) are not counted, so ``E``
+  never exceeds the dense work and ``mults == E`` exactly — the counter
+  the conformance suite and fig9_backends cross-validate against an
+  independent brute-force/analytic count.
+* **PE tiling**: output positions are split into ``num_units``
+  contiguous row-major chunks (SCNN's planar tiling); each PE's
+  multiplier-limited time is ``ceil(P_pe / multipliers_per_unit)``.
+* **Accumulator-bank contention**: each PE has ``2 x
+  multipliers_per_unit`` accumulator banks (SCNN provisions 2x to keep
+  scatter conflicts rare); position ``p`` maps to bank ``p mod B`` and
+  needs ``ceil(products(p) / F_live)`` serialized accumulations, where
+  ``F_live = min(filters_per_group, filters_per_unit)`` output channels
+  absorb products in parallel.  A PE's time is the max of its
+  multiplier-limited and most-loaded-bank time; the layer (per group)
+  takes the slowest PE.
+
+Unlike CNV/CNV2 the model has no first-layer special case: compressed
+weights skip their zeros against the dense image just as well.  Groups
+run sequentially, like every other backend here.
+
+Known honest corner: on tiny output planes (fewer output positions than
+PEs — 1x1 outputs at toy scales) most PEs idle and SCNN can lose to the
+dense baseline; the conformance suite documents and avoids that regime,
+matching the paper's own observation that SCNN underutilizes on small
+spatial dimensions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baseline.other_layers import other_layers_timing
+from repro.baseline.timing import conv_works_from_inputs
+from repro.baseline.workload import ConvWork, ceil_div, group_activations
+from repro.hw.config import ArchConfig
+from repro.hw.counters import ActivityCounters
+from repro.hw.timing_types import LayerTiming, NetworkTiming
+from repro.nn.network import Network
+
+__all__ = [
+    "effectual_pair_count",
+    "scnn_conv_timing",
+    "scnn_network_timing",
+]
+
+ARCHITECTURE = "scnn"
+
+
+def _strided_plane(slab: np.ndarray, fy: int, fx: int, stride: int,
+                   out_y: int, out_x: int) -> np.ndarray:
+    """Activations feeding kernel tap (fy, fx) of every valid window.
+
+    ``slab`` is the spatially padded ``(depth, Y, X)`` group slab; output
+    position (oy, ox) reads ``slab[:, oy*stride + fy, ox*stride + fx]``.
+    """
+    return slab[:, fy::stride, fx::stride][:, :out_y, :out_x]
+
+
+def effectual_pair_count(work: ConvWork, weights: np.ndarray) -> int:
+    """Exact count of effectual (non-zero weight x non-zero activation)
+    products for ``work``, channel-sum form.
+
+    Computed as sum over (fy, fx, z) of weight-filter counts times valid
+    non-zero activation counts — deliberately a *different* accumulation
+    order than the per-output-position product map the timing model
+    builds, so the two serve as independent cross-checks of each other.
+    """
+    geom = work.geometry
+    kernel = geom["kernel"]
+    stride = geom["stride"]
+    out_y, out_x = geom["out_y"], geom["out_x"]
+    fpg = work.filters_per_group
+    total = 0
+    for group in range(work.num_groups):
+        slab = group_activations(work, group)
+        group_weights = weights[group * fpg : (group + 1) * fpg]
+        # (# filters with non-zero weight) per (depth, fy, fx).
+        filter_counts = (group_weights != 0.0).sum(axis=0).astype(np.int64)
+        for fy in range(kernel):
+            for fx in range(kernel):
+                act_nnz = (
+                    _strided_plane(slab, fy, fx, stride, out_y, out_x) != 0.0
+                ).sum(axis=(1, 2)).astype(np.int64)
+                total += int(filter_counts[:, fy, fx] @ act_nnz)
+    return total
+
+
+def scnn_conv_timing(
+    work: ConvWork, config: ArchConfig, weights: np.ndarray
+) -> LayerTiming:
+    """Cycles and activity for one conv layer on the SCNN-style dataflow."""
+    if weights.shape[0] != work.geometry["num_filters"]:
+        raise ValueError(
+            f"{work.name}: weights carry {weights.shape[0]} filters, "
+            f"geometry expects {work.geometry['num_filters']}"
+        )
+    geom = work.geometry
+    kernel = geom["kernel"]
+    stride = geom["stride"]
+    out_y, out_x = geom["out_y"], geom["out_x"]
+    units = config.num_units
+    banks = 2 * config.multipliers_per_unit
+    f_live = min(work.filters_per_group, config.filters_per_unit)
+    fpg = work.filters_per_group
+
+    counters = ActivityCounters()
+    total_cycles = 0
+    busy_events = 0.0
+    stall_events = 0.0
+
+    for group in range(work.num_groups):
+        slab = group_activations(work, group)
+        group_weights = weights[group * fpg : (group + 1) * fpg]
+        filter_counts = (group_weights != 0.0).sum(axis=0).astype(np.float64)
+
+        # Effectual products landing on each valid output position.
+        product_map = np.zeros((out_y, out_x), dtype=np.float64)
+        for fy in range(kernel):
+            for fx in range(kernel):
+                act_mask = (
+                    _strided_plane(slab, fy, fx, stride, out_y, out_x) != 0.0
+                ).astype(np.float64)
+                product_map += np.einsum(
+                    "z,zyx->yx", filter_counts[:, fy, fx], act_mask
+                )
+        products = product_map.reshape(-1)
+        n_pos = products.size
+        group_products = float(products.sum())
+
+        # Contiguous row-major position chunks, one per PE.
+        bounds = [(pe * n_pos) // units for pe in range(units + 1)]
+        group_cycles = 0
+        for pe in range(units):
+            lo, hi = bounds[pe], bounds[pe + 1]
+            if lo == hi:
+                continue
+            chunk = products[lo:hi]
+            mult_limited = ceil_div(
+                int(chunk.sum()), config.multipliers_per_unit
+            )
+            # Scatter: position p -> bank p mod B, ceil(products/F_live)
+            # serialized accumulations per position.
+            per_position = np.ceil(chunk / f_live)
+            bank_load = np.bincount(
+                np.arange(lo, hi) % banks, weights=per_position,
+                minlength=banks,
+            )
+            bank_limited = int(bank_load.max())
+            group_cycles = max(group_cycles, max(mult_limited, bank_limited))
+        total_cycles += group_cycles
+
+        # Fig. 10 bookkeeping: a cycle offers units x lanes event slots,
+        # each worth multipliers_per_unit / lanes products.
+        products_per_slot = config.multipliers_per_unit / config.neuron_lanes
+        busy = group_products / products_per_slot
+        slots = group_cycles * units * config.neuron_lanes
+        busy_events += busy
+        stall_events += max(0.0, slots - busy)
+
+        # Every product is effectual — the defining counter identity.
+        counters.add("mults", group_products)
+        counters.add("adds", group_products)
+        counters.add("nbout_reads", group_products)
+        counters.add("nbout_writes", group_products)
+        # Compressed operand traffic (coarse: one read per non-zero,
+        # brick-granular for activations, per-element for weights).
+        counters.add(
+            "nm_reads", float((slab != 0.0).sum()) / config.brick_size
+        )
+        counters.add("sb_reads", float((group_weights != 0.0).sum()))
+        counters.add(
+            "nm_writes", out_y * out_x * fpg / config.brick_size
+        )
+        counters.add("broadcasts", group_cycles)
+
+    if work.is_first:
+        lane_events = {"conv1": busy_events + stall_events}
+    else:
+        lane_events = {"nonzero": busy_events, "stall": stall_events}
+    return LayerTiming(
+        name=work.name,
+        kind="conv",
+        cycles=total_cycles,
+        lane_events=lane_events,
+        counters=counters,
+    )
+
+
+def scnn_network_timing(
+    network: Network,
+    conv_inputs: dict[str, np.ndarray],
+    config: ArchConfig,
+    weights: dict[str, np.ndarray],
+) -> NetworkTiming:
+    """Full-network SCNN timing; ``weights`` maps conv layer -> filter bank."""
+    layers = [
+        scnn_conv_timing(work, config, weights[work.name])
+        for work in conv_works_from_inputs(network, conv_inputs)
+    ]
+    layers.extend(other_layers_timing(network, config))
+    return NetworkTiming(
+        network=network.name, architecture=ARCHITECTURE, layers=layers
+    )

@@ -9,7 +9,10 @@ Two subcommands:
             --kernel 3 --pad 1 --sparsity 0.45
 
     With ``--structural`` (small layers only) the cycle-by-cycle node
-    simulators run and are checked against the analytic models.
+    simulators run and are checked against the analytic models.  With
+    ``--backends cnv,cnv2,scnn`` (or ``--backends all``) every named
+    registry backend is timed on the same layer, weight-sparse backends
+    at ``--weight-sparsity`` magnitude-pruned weights.
 
 ``network``
     Calibrate paper networks and print their per-layer baseline/CNV
@@ -30,6 +33,7 @@ import time
 
 import numpy as np
 
+from repro.backends import DEFAULT_WEIGHT_SPARSITY, backend_names, get_backend, prune_weights
 from repro.baseline.timing import baseline_conv_timing
 from repro.baseline.workload import ConvWork
 from repro.core.timing import cnv_conv_timing
@@ -97,6 +101,39 @@ def _run_layer(args) -> int:
     print(f"energy: baseline {base_e.total_j * 1e6:.2f} uJ, "
           f"cnv {cnv_e.total_j * 1e6:.2f} uJ "
           f"({base_e.total_j / cnv_e.total_j:.2f}x gain)")
+
+    if args.backends:
+        requested = (
+            backend_names()
+            if args.backends == "all"
+            else [b.strip() for b in args.backends.split(",") if b.strip()]
+        )
+        try:
+            specs = [get_backend(name) for name in requested]
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        weights = prune_weights(
+            rng.normal(size=(args.filters, args.depth // args.groups,
+                             args.kernel, args.kernel)),
+            args.weight_sparsity,
+        )
+        rows = []
+        for spec in specs:
+            timing = spec.layer_timing(
+                work, arch, weights if spec.needs_weights else None
+            )
+            rows.append({
+                "backend": spec.name,
+                "architecture": spec.architecture,
+                "cycles": timing.cycles,
+                "speedup": (f"{base.cycles / timing.cycles:.3f}x"
+                            if timing.cycles else "inf"),
+                "mults": int(timing.counters.counts.get("mults", 0)),
+            })
+        print(f"\nbackend comparison "
+              f"({args.weight_sparsity:.0%} weight sparsity):")
+        print(format_table(rows))
 
     if args.structural:
         from repro.baseline.accelerator import DaDianNaoNode
@@ -199,6 +236,16 @@ def main(argv: list[str] | None = None) -> int:
     layer.add_argument("--first-layer", action="store_true")
     layer.add_argument("--structural", action="store_true",
                        help="also run the cycle-by-cycle node simulators")
+    layer.add_argument(
+        "--backends", default=None, metavar="NAMES",
+        help="comma-separated registry backends to compare on this layer "
+        "(or 'all'); see repro.backends",
+    )
+    layer.add_argument(
+        "--weight-sparsity", type=float, default=DEFAULT_WEIGHT_SPARSITY,
+        help="magnitude-pruned weight fraction for weight-sparse backends "
+        f"(default {DEFAULT_WEIGHT_SPARSITY})",
+    )
     _add_arch_args(layer)
     layer.set_defaults(func=_run_layer)
 

@@ -46,6 +46,7 @@ from pathlib import Path
 from repro import obs
 from repro.experiments import (
     fig1_zero_fraction,
+    fig9_backends,
     fig9_speedup,
     fig10_breakdown,
     fig11_area,
@@ -68,6 +69,7 @@ EXPERIMENTS = {
     "fig1": fig1_zero_fraction.run,
     "table1": table1_networks.run,
     "fig9": fig9_speedup.run,
+    "fig9_backends": fig9_backends.run,
     "fig10": fig10_breakdown.run,
     "fig11": fig11_area.run,
     "fig12": fig12_power.run,

@@ -29,6 +29,9 @@ metrics snapshot the run serialized (see :mod:`repro.obs.metrics`):
 * an integrity summary (``integrity.*``, when present): ABFT / CRC
   check and detection counts, quarantines by reason, arena republishes,
   canary probes, injected weight flips, and stale arenas swept;
+* a backend-activity table (``activity.*`` gauges, when present): the
+  per-(backend, network) activity-counter profile every timing
+  simulator publishes, labelled with registry backend names;
 * an SLO summary (``slo.*``, when present): declared objective targets
   vs observed values, error-budget burn rates, breach counts, and the
   router health line (live shards, deaths/respawns, quarantines, queue
@@ -348,6 +351,39 @@ def metrics_report(manifest: dict, top: int = 15) -> str:
             f"({skip_rate:.0%}); "
             f"fallbacks: {counters.get('engine.sparse.fallbacks', 0):.0f}"
         )
+
+    activity: dict[tuple[str, str], dict[str, float]] = {}
+    for name, value in gauges.items():
+        if not name.startswith("activity."):
+            continue
+        fields = name[len("activity."):].split(".")
+        if len(fields) != 3:
+            continue
+        arch, network, counter = fields
+        activity.setdefault((arch, network), {})[counter] = value
+    if activity:
+        # Registry lookup resolves each gauge's architecture string to its
+        # backend name; architectures from other builds render as-is.
+        from repro.backends import architectures
+
+        arch_names = architectures()
+        order = {arch: idx for idx, arch in enumerate(arch_names)}
+        activity_rows = [
+            {
+                "backend": arch_names.get(arch, arch),
+                "architecture": arch,
+                "network": network,
+                "mults": f"{counts.get('mults', 0.0):.3e}",
+                "counters": len(counts),
+                "total_events": f"{sum(counts.values()):.3e}",
+            }
+            for (arch, network), counts in sorted(
+                activity.items(),
+                key=lambda kv: (order.get(kv[0][0], len(order)), kv[0]),
+            )
+        ]
+        parts.append("\n-- backend activity --")
+        parts.append(_format_table(activity_rows))
 
     extra_attempts = sum(max(0, unit.get("attempts", 1) - 1) for unit in units)
     fault_lines = [

@@ -14,8 +14,6 @@ from dataclasses import dataclass
 
 from repro.hw.counters import ActivityCounters
 from repro.power.components import (
-    BASELINE,
-    CNV,
     COMPONENTS,
     COUNTER_COMPONENT,
     ArchPowerModel,
@@ -25,16 +23,18 @@ __all__ = ["EnergyReport", "energy_report", "model_for"]
 
 
 def model_for(architecture: str) -> ArchPowerModel:
-    """The power model for an architecture name used by NetworkTiming."""
-    if architecture == BASELINE.name:
-        return BASELINE
-    if architecture == CNV.name:
-        return CNV
-    if architecture == "dadiannao-gated":
-        # Eyeriss-style gating: baseline silicon (areas, leakage, access
-        # energies); the savings come purely from the gated activity counts.
-        return BASELINE
-    raise KeyError(f"unknown architecture {architecture!r}")
+    """The power model for an architecture name used by NetworkTiming.
+
+    Resolved through the backend registry, so a newly registered backend
+    (with its declared power model) is immediately chargeable here —
+    e.g. ``dadiannao-gated`` maps to the baseline silicon (its savings
+    come purely from gated activity counts).  Imported lazily:
+    :mod:`repro.backends` itself imports power components from this
+    package.
+    """
+    from repro.backends import power_model_for
+
+    return power_model_for(architecture)
 
 
 @dataclass

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backends import get_backend
 from repro.baseline.timing import baseline_network_timing
 from repro.core.timing import cnv_network_timing
 from repro.experiments.config import PaperConfig
@@ -71,9 +72,10 @@ class ModelRepository:
         )
         self.arch = arch
         self._baseline_cycles: dict[str, int] = {}
-        # (network, thresholds_key, image_index) -> timing payload.  A
-        # probe request's conv inputs are a pure function of that key, so
-        # the cycle-accurate simulators need run only once per config.
+        # (network, thresholds_key, image_index, backend) -> timing
+        # payload.  A probe request's conv inputs are a pure function of
+        # that key, so the cycle-accurate simulators need run only once
+        # per config.
         self._probe_timing: dict[tuple, dict] = {}
 
     @property
@@ -100,6 +102,7 @@ class ModelRepository:
         thresholds_key: tuple,
         image_index: int,
         conv_inputs: dict,
+        backend: str | None = None,
     ) -> dict:
         """Timing payload for a probe request, memoized per config.
 
@@ -107,9 +110,11 @@ class ModelRepository:
         conv inputs are fixed by (network, thresholds, image index) — so
         repeats return the identical ints/floats without re-simulating.
         """
-        key = (name, thresholds_key, image_index)
+        key = (name, thresholds_key, image_index, backend)
         if key not in self._probe_timing:
-            self._probe_timing[key] = _timing_payload(self, name, conv_inputs)
+            self._probe_timing[key] = _timing_payload(
+                self, name, conv_inputs, backend
+            )
         return dict(self._probe_timing[key])
 
     def baseline_cycles(self, name: str, conv_inputs: dict) -> int:
@@ -137,15 +142,34 @@ def _zero_fraction_payload(conv_inputs: dict[str, np.ndarray]) -> dict:
 
 
 def _timing_payload(
-    repo: ModelRepository, name: str, conv_inputs: dict[str, np.ndarray]
+    repo: ModelRepository,
+    name: str,
+    conv_inputs: dict[str, np.ndarray],
+    backend: str | None = None,
 ) -> dict:
     network = repo.entry(name).network
-    cnv = cnv_network_timing(network, conv_inputs, repo.arch).total_cycles
     base = repo.baseline_cycles(name, conv_inputs)
+    if backend is None:
+        # The original CNV-vs-baseline payload, byte-for-byte — requests
+        # that never name a backend cannot observe the registry exists.
+        cnv = cnv_network_timing(network, conv_inputs, repo.arch).total_cycles
+        return {
+            "baseline_cycles": int(base),
+            "cnv_cycles": int(cnv),
+            "speedup": base / cnv,
+        }
+    spec = get_backend(backend)  # names are validated at admission
+    weights = (
+        repo.context.pruned_conv_weights(name) if spec.needs_weights else None
+    )
+    cycles = spec.network_timing(
+        network, conv_inputs, repo.arch, weights
+    ).total_cycles
     return {
+        "backend": backend,
         "baseline_cycles": int(base),
-        "cnv_cycles": int(cnv),
-        "speedup": base / cnv,
+        "backend_cycles": int(cycles),
+        "speedup": base / cycles,
     }
 
 
@@ -161,7 +185,7 @@ def _payload(
         return _classify_payload(logits)
     if request.kind == "zero_fraction":
         return _zero_fraction_payload(conv_inputs)
-    return _timing_payload(repo, request.network, conv_inputs)
+    return _timing_payload(repo, request.network, conv_inputs, request.backend)
 
 
 def _needs_conv_inputs(requests: list[ServeRequest]) -> bool:
@@ -177,7 +201,7 @@ def _probe_payload(
     if request.kind == "timing":
         return repo.probe_timing_payload(
             request.network, thresholds_key, request.image_index,
-            sliced.conv_inputs,
+            sliced.conv_inputs, request.backend,
         )
     return _payload(repo, request, sliced.logits, sliced.conv_inputs)
 

@@ -12,7 +12,11 @@ paper networks:
 ``timing``
     Forward the input, then run both cycle-accurate timing models on its
     conv-input activations and return baseline/CNV cycles and the
-    speedup (the per-request Fig. 9 quantity).
+    speedup (the per-request Fig. 9 quantity).  With ``backend`` set to
+    a registered backend name (see :mod:`repro.backends`), the named
+    simulator answers instead — the per-request fig9_backends quantity;
+    weight-sparse backends time the repository's default magnitude-pruned
+    weights.
 
 The input is either a synthetic image derived deterministically from
 ``image_seed``, or — when ``image_index`` is set — one of the service's
@@ -53,7 +57,7 @@ STATUS_CODES = {"ok": 200, "shed": 429, "timeout": 504, "error": 500}
 
 _REQUEST_FIELDS = {
     "id", "kind", "network", "image_seed", "image_index",
-    "thresholds", "deadline_ms",
+    "thresholds", "deadline_ms", "backend",
 }
 
 
@@ -81,11 +85,16 @@ class ServeRequest:
     image_index: int | None = None
     thresholds: dict[str, float] | None = None
     deadline_ms: float | None = None
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in REQUEST_KINDS:
             raise ValueError(
                 f"kind must be one of {REQUEST_KINDS}, got {self.kind!r}"
+            )
+        if self.backend is not None and self.kind != "timing":
+            raise ValueError(
+                f"backend applies to timing requests only, not {self.kind!r}"
             )
         if self.image_index is not None and self.image_index < 0:
             raise ValueError("image_index must be >= 0 (or None)")
@@ -114,6 +123,8 @@ class ServeRequest:
             payload["thresholds"] = self.thresholds
         if self.deadline_ms is not None:
             payload["deadline_ms"] = self.deadline_ms
+        if self.backend is not None:
+            payload["backend"] = self.backend
         return payload
 
     def to_json(self) -> str:
@@ -139,6 +150,11 @@ class ServeRequest:
                 ),
                 thresholds=payload.get("thresholds"),
                 deadline_ms=payload.get("deadline_ms"),
+                backend=(
+                    None
+                    if payload.get("backend") is None
+                    else str(payload["backend"])
+                ),
             )
         except KeyError as exc:
             raise ValueError(f"request is missing field {exc.args[0]!r}")

@@ -71,6 +71,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro import obs
+from repro.backends import backend_names
 from repro.experiments.context import ExperimentContext
 from repro.nn.shm import SharedWeightArena, sweep_stale_arenas
 from repro.obs.timeseries import TelemetryPlane
@@ -428,6 +429,14 @@ class ShardedService:
                 f"image_index {request.image_index} out of range "
                 f"(network {request.network} holds "
                 f"{self.repo.probe_count(request.network)} probe images)"
+            )
+        elif request.backend is not None and request.backend not in backend_names():
+            # Validated here, before routing: an unregistered backend name
+            # must answer as a 500-style validation error at the router,
+            # never reach (let alone crash) a shard process.
+            error = (
+                f"unknown backend {request.backend!r}; registered: "
+                f"{backend_names()}"
             )
         loop = asyncio.get_running_loop()
         if error is not None:

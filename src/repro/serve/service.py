@@ -50,6 +50,7 @@ import traceback
 from dataclasses import dataclass, field
 
 from repro import obs
+from repro.backends import backend_names
 from repro.experiments.config import PaperConfig
 from repro.reliability import FaultInjector, RetryPolicy
 from repro.serve.batcher import Batch, MicroBatcher
@@ -220,6 +221,11 @@ class InferenceService:
                 f"image_index {request.image_index} out of range "
                 f"(network {request.network} holds "
                 f"{self.repo.probe_count(request.network)} probe images)"
+            )
+        elif request.backend is not None and request.backend not in backend_names():
+            error = (
+                f"unknown backend {request.backend!r}; registered: "
+                f"{backend_names()}"
             )
         if error is not None:
             future: asyncio.Future = asyncio.get_running_loop().create_future()

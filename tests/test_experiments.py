@@ -189,8 +189,8 @@ class TestReport:
 class TestRunner:
     def test_registry_covers_every_table_and_figure(self):
         assert set(EXPERIMENTS) == {
-            "fig1", "table1", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "table2", "fig14",
+            "fig1", "table1", "fig9", "fig9_backends", "fig10", "fig11",
+            "fig12", "fig13", "table2", "fig14",
         }
 
     def test_unknown_experiment_rejected(self, tmp_path):

@@ -63,6 +63,7 @@ def test_report_covers_every_section():
         "-- serving --",
         "-- sharded serving --",
         "-- slo --",
+        "-- backend activity --",
         "-- retries / faults --",
     ):
         assert heading in text, f"fixture no longer exercises {heading!r}"
@@ -72,6 +73,10 @@ def test_report_covers_every_section():
     assert "p50" in text and "p99" in text
     assert "queue depth last 3 (max 11)" in text
     assert "BURNING" in text
+    # Backend activity rows resolve architectures through the registry
+    # and render scientific-notation event counts.
+    assert "cnvlutin2" in text and "scnn" in text
+    assert "1.200e+06" in text
 
 
 def test_report_cli_prints_the_same_text(capsys):

@@ -207,7 +207,7 @@ class TestUnitExecution:
             assert all(r.status == "ok" for r in records)
 
 
-DETERMINISM_EXPERIMENTS = ["fig1", "table1", "fig9", "fig14"]
+DETERMINISM_EXPERIMENTS = ["fig1", "table1", "fig9", "fig9_backends", "fig14"]
 
 
 class TestParallelDeterminism:
